@@ -1,0 +1,138 @@
+"""Extension benchmarks — ablations beyond the paper's headline figures.
+
+These exercise the design choices DESIGN.md calls out: the gVisor
+platform choice (ptrace vs KVM), the VMM event-loop architectures, the
+YCSB mix sensitivity of Figure 16, unprivileged LXC, and the per-workload
+HAP breakdown.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.figures import fig11_iperf, fig13_container_boot
+from repro.kernel.functions import KernelFunctionCatalog
+from repro.platforms import get_platform
+from repro.platforms.vmm_loop import loop_for
+from repro.rng import RngStream
+from repro.security.hap import measure_hap_per_workload
+from repro.simcore.engine import Simulator, Wait
+from repro.units import us
+from repro.workloads.memcached import MemcachedYcsbWorkload
+from repro.workloads.ycsb import WORKLOAD_A, WORKLOAD_B, WORKLOAD_C
+
+
+def test_gvisor_platform_ablation(benchmark, seed):
+    """gVisor ptrace vs KVM: the KVM platform wins on every subsystem."""
+    figure = run_once(
+        benchmark,
+        fig11_iperf,
+        seed,
+        repetitions=5,
+        platforms=["gvisor", "gvisor-ptrace"],
+    )
+    print()
+    print(figure.render())
+    kvm = figure.row("gvisor").summary.mean
+    ptrace = figure.row("gvisor-ptrace").summary.mean
+    assert kvm > 1.2 * ptrace
+
+
+def test_lxc_unprivileged_ablation(benchmark, seed):
+    """Unprivileged LXC (cgroups v2 + user namespaces) boots about as
+    fast as privileged LXC — systemd still dominates."""
+    figure = run_once(
+        benchmark,
+        fig13_container_boot,
+        seed,
+        startups=100,
+        platforms=["lxc", "lxc-unprivileged"],
+    )
+    print()
+    print(figure.render())
+    privileged = figure.row("lxc").summary.mean
+    unprivileged = figure.row("lxc-unprivileged").summary.mean
+    assert abs(unprivileged - privileged) / privileged < 0.1
+
+
+def test_ycsb_mix_sensitivity(benchmark, seed):
+    """Figure 16 under YCSB A/B/C: read-heavier mixes lift throughput but
+    preserve the platform ordering."""
+
+    def sweep():
+        rng = RngStream(seed, "ycsb-sweep")
+        results = {}
+        for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C):
+            workload = MemcachedYcsbWorkload(spec=spec, ops_per_client=60)
+            results[spec.name] = {
+                name: workload.run(get_platform(name), rng.child(f"{spec.name}/{name}"))
+                for name in ("native", "docker", "kata", "gvisor")
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for mix, rows in results.items():
+        line = ", ".join(
+            f"{k} {v.throughput_ops_per_s:,.0f}" for k, v in rows.items()
+        )
+        print(f"{mix}: {line}")
+    for mix in results:
+        throughputs = {k: v.throughput_ops_per_s for k, v in results[mix].items()}
+        assert throughputs["gvisor"] == min(throughputs.values())
+        assert throughputs["kata"] < throughputs["docker"]
+    # The 50/50 update mix (A) has strictly higher per-op latency than the
+    # read-only mix (C); throughput is think-time dominated, so latency is
+    # the robust sensitivity signal.
+    for name in ("native", "docker"):
+        assert (
+            results["workload-a"][name].mean_latency_s
+            > results["workload-c"][name].mean_latency_s
+        )
+
+
+def test_vmm_event_loop_architectures(benchmark):
+    """Dispatch latency of the three VMM loops under a device-event burst."""
+
+    def drive(vmm: str) -> float:
+        sim = Simulator()
+        loop = loop_for(sim, vmm)
+
+        def poster():
+            events = [loop.post("fd", us(2.0)) for _ in range(200)]
+            for event in events:
+                yield Wait(event)
+
+        sim.run_process(poster())
+        return loop.mean_dispatch_latency
+
+    latencies = benchmark.pedantic(
+        lambda: {vmm: drive(vmm) for vmm in ("qemu", "firecracker", "cloud-hypervisor")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for vmm, latency in latencies.items():
+        print(f"{vmm}: mean dispatch {latency * 1e6:.1f} us")
+    assert all(latency > 0 for latency in latencies.values())
+
+
+def test_hap_per_workload_breakdown(benchmark):
+    """Which workload widens each platform's host interface the most."""
+    catalog = KernelFunctionCatalog()
+
+    def breakdown():
+        return {
+            name: {
+                workload: score.unique_functions
+                for workload, score in measure_hap_per_workload(
+                    get_platform(name), catalog
+                ).items()
+            }
+            for name in ("docker", "qemu", "kata", "gvisor", "osv")
+        }
+
+    rows = benchmark.pedantic(breakdown, rounds=1, iterations=1)
+    print()
+    for name, per_workload in rows.items():
+        widest = max(per_workload, key=per_workload.get)
+        print(f"{name}: widest under {widest} ({per_workload[widest]} fns) — {per_workload}")
+    # The boot/lifecycle trace is what widens Kata beyond a hypervisor.
+    assert rows["kata"]["boot-shutdown"] > rows["docker"]["boot-shutdown"]

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Capacity planning: sizing a caching tier and a database tier.
+
+Uses the paper's two application benchmarks as sizing models: how many
+memcached instances (YCSB workload-a) and how many MySQL instances
+(sysbench oltp_read_write at its best thread count) each isolation
+platform needs to serve a target load — turning the Figure 16/17
+differences into machine counts an operator can compare against the
+platforms' isolation guarantees.
+
+Usage::
+
+    python examples/capacity_planning.py [seed]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.platforms import get_platform
+from repro.rng import RngStream
+from repro.workloads.memcached import MemcachedYcsbWorkload
+from repro.workloads.mysql import MysqlOltpWorkload
+
+PLATFORMS = [
+    "native", "docker", "lxc", "qemu", "firecracker",
+    "cloud-hypervisor", "kata", "gvisor", "osv",
+]
+
+TARGET_CACHE_OPS = 2_000_000.0  # ops/s across the caching tier
+TARGET_DB_TPS = 40_000.0        # transactions/s across the DB tier
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    rng = RngStream(seed, "capacity")
+    memcached = MemcachedYcsbWorkload(ops_per_client=60)
+    mysql = MysqlOltpWorkload()
+
+    print(f"Target load: {TARGET_CACHE_OPS:,.0f} cache ops/s, {TARGET_DB_TPS:,.0f} DB tps")
+    print()
+    header = (
+        f"{'platform':<18} {'cache ops/s':>12} {'cache nodes':>12} "
+        f"{'peak tps':>10} {'@thr':>5} {'db nodes':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    rows = []
+    for name in PLATFORMS:
+        platform = get_platform(name)
+        cache = memcached.run(platform, rng.child(f"mc/{name}"))
+        oltp = mysql.run(platform, rng.child(f"db/{name}"))
+        threads, peak_tps = oltp.peak()
+        cache_nodes = math.ceil(TARGET_CACHE_OPS / cache.throughput_ops_per_s)
+        db_nodes = math.ceil(TARGET_DB_TPS / peak_tps)
+        rows.append((name, cache_nodes, db_nodes))
+        print(
+            f"{name:<18} {cache.throughput_ops_per_s:>12,.0f} {cache_nodes:>12} "
+            f"{peak_tps:>10,.0f} {threads:>5.0f} {db_nodes:>9}"
+        )
+
+    print()
+    baseline = next(r for r in rows if r[0] == "docker")
+    print("Overhead vs Docker (extra machines for the same load):")
+    for name, cache_nodes, db_nodes in rows:
+        if name == "docker":
+            continue
+        delta_cache = cache_nodes - baseline[1]
+        delta_db = db_nodes - baseline[2]
+        print(f"  {name:<18} cache {delta_cache:+d} nodes, db {delta_db:+d} nodes")
+    print()
+    print("Reading: the isolation premium is workload-shaped — secure")
+    print("containers are cheap for CPU-bound fleets but cost real machines")
+    print("on I/O- and network-heavy tiers (Conclusions 1-3).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Full reproduction: every figure, every finding, archived to JSON.
+
+Runs the complete evaluation section (Figures 5-18 plus the sysbench
+prime control), renders each artefact, evaluates all 28 findings, and
+writes the result set to ``results/``.
+
+Usage::
+
+    python examples/full_reproduction.py [seed] [--paper-scale]
+
+``--paper-scale`` uses the paper's repetition counts (10 runs, 300
+startups); the default is the quick profile (~1 minute).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import BenchmarkSuite
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    seed = int(args[0]) if args else 42
+    quick = "--paper-scale" not in sys.argv
+
+    suite = BenchmarkSuite(seed=seed, quick=quick)
+    print(suite.describe())
+    print(f"profile: {'quick' if quick else 'paper-scale'}")
+    print()
+
+    started = time.time()
+    for figure_id in suite.figure_ids():
+        figure = suite.run_figure(figure_id)
+        print(figure.render())
+        print()
+
+    print(suite.findings_report())
+    print()
+
+    written = suite.save_results("results")
+    print(f"Archived {len(written)} JSON files to results/ "
+          f"({time.time() - started:.1f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Platform advisor: which isolation platform for *your* workload?
+
+The paper's stated goal is to "help practitioners to make educated
+decisions on the best isolation platform for their given problem"
+(Section 1). This example drives the :class:`repro.core.advisor`
+API across four archetypal workloads and prints ranked recommendations —
+each derived from the reproduced figures, not intuition.
+
+Usage::
+
+    python examples/platform_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.core.advisor import PlatformAdvisor, WorkloadNeeds
+
+SCENARIOS = [
+    (
+        "Serverless function frontend",
+        "bursty, latency-sensitive startup; light I/O",
+        WorkloadNeeds(cpu=0.3, memory=0.2, disk=0.1, network=0.5,
+                      startup=1.0, isolation=0.6),
+    ),
+    (
+        "Multi-tenant CI build farm",
+        "CPU-heavy, untrusted code, moderate disk",
+        WorkloadNeeds(cpu=1.0, memory=0.5, disk=0.5, network=0.1,
+                      startup=0.3, isolation=0.9),
+    ),
+    (
+        "In-memory cache tier",
+        "network- and memory-bound, trusted workload",
+        WorkloadNeeds(cpu=0.2, memory=0.9, disk=0.0, network=1.0,
+                      startup=0.0, isolation=0.2),
+    ),
+    (
+        "Analytics database",
+        "disk-throughput dominated with big scans",
+        WorkloadNeeds(cpu=0.5, memory=0.6, disk=1.0, network=0.3,
+                      startup=0.0, isolation=0.5),
+    ),
+]
+
+
+def main() -> int:
+    advisor = PlatformAdvisor(seed=42, repetitions=3)
+
+    for title, description, needs in SCENARIOS:
+        print(f"## {title} — {description}")
+        for rank, recommendation in enumerate(advisor.recommend(needs, top=3), start=1):
+            print(f"  {rank}. {recommendation.explain()}")
+        print()
+
+    print("Scores are normalized per dimension (1.0 = best candidate) and")
+    print("weighted by the scenario; isolation blends HAP interface width")
+    print("with defense-in-depth (Finding 28's two axes).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Security audit: HAP width vs. defense-in-depth, per platform.
+
+Reproduces the paper's Section 4 analysis: trace the host-kernel functions
+each platform exercises across five workloads, weigh them with EPSS
+exploit likelihoods, and contrast the resulting *horizontal* attack
+profile with the *vertical* isolation depth the HAP cannot see
+(Finding 28).
+
+Usage::
+
+    python examples/security_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.kernel.functions import KernelFunctionCatalog
+from repro.platforms import get_platform
+from repro.security.analysis import audit_platform
+from repro.security.epss import EpssModel
+from repro.security.hap import measure_hap
+
+PLATFORMS = [
+    "native", "docker", "lxc", "qemu", "firecracker",
+    "cloud-hypervisor", "kata", "gvisor", "osv",
+]
+
+
+def main() -> int:
+    catalog = KernelFunctionCatalog()
+    epss = EpssModel()
+
+    print(f"Host-kernel function catalog: {len(catalog)} traceable functions")
+    print()
+    print(f"{'platform':<18} {'HAP':>6} {'EPSS-weighted':>14} {'depth':>7}  top subsystems")
+    print("-" * 90)
+
+    audits = []
+    for name in PLATFORMS:
+        platform = get_platform(name)
+        score = measure_hap(platform, catalog, epss)
+        audit = audit_platform(platform, score)
+        audits.append((name, score, audit))
+        top = ", ".join(
+            f"{subsystem.value}:{count}"
+            for subsystem, count in score.riskiest_subsystems(3)
+        )
+        print(
+            f"{name:<18} {score.unique_functions:>6} "
+            f"{score.weighted_score:>14.1f} {audit.depth_score:>7.1f}  {top}"
+        )
+
+    print()
+    by_hap = sorted(audits, key=lambda a: a[1].unique_functions)
+    print(f"Narrowest host interface:  {by_hap[0][0]} "
+          f"({by_hap[0][1].unique_functions} functions — Finding 27)")
+    print(f"Widest host interface:     {by_hap[-1][0]} "
+          f"({by_hap[-1][1].unique_functions} functions — Finding 24)")
+
+    print()
+    print("The Finding 28 caveat, quantified:")
+    kata = next(a for a in audits if a[0] == "kata")
+    docker = next(a for a in audits if a[0] == "docker")
+    print(
+        f"  Kata's HAP ({kata[1].unique_functions}) is wider than Docker's "
+        f"({docker[1].unique_functions}), yet Kata layers "
+        f"{kata[2].layers} isolation mechanisms (depth {kata[2].depth_score:.1f}) "
+        f"against Docker's {docker[2].layers} (depth {docker[2].depth_score:.1f})."
+    )
+    print("  The HAP measures width, not depth: secure containers buy their")
+    print("  security as defense-in-depth, not as a narrower interface.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

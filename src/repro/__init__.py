@@ -1,0 +1,55 @@
+"""repro — a simulated reproduction of "A Fresh Look at the Architecture
+and Performance of Contemporary Isolation Platforms" (Middleware '21).
+
+Public API tour:
+
+* :func:`repro.platforms.get_platform` — construct any studied platform;
+* :mod:`repro.workloads` — the benchmark programs (ffmpeg, fio, iperf3...);
+* :mod:`repro.core` — the benchmark suite: experiments, runner, figures;
+* :mod:`repro.security` — HAP / EPSS isolation measurement.
+
+Quickstart::
+
+    from repro import BenchmarkSuite
+    suite = BenchmarkSuite(seed=42)
+    result = suite.run_figure("fig11")
+    print(result.render())
+"""
+
+from repro.errors import (
+    BootError,
+    ConfigurationError,
+    PlatformError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    UnsupportedOperationError,
+    WorkloadError,
+)
+from repro.rng import RngStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "PlatformError",
+    "UnsupportedOperationError",
+    "WorkloadError",
+    "TraceError",
+    "BootError",
+    "RngStream",
+    "__version__",
+    "BenchmarkSuite",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import: keep `import repro` light while exposing the suite at
+    # top level.
+    if name == "BenchmarkSuite":
+        from repro.core.suite import BenchmarkSuite
+
+        return BenchmarkSuite
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

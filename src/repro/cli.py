@@ -1,0 +1,163 @@
+"""Command-line interface for the benchmark suite.
+
+Installed as ``repro-bench``::
+
+    repro-bench list                         # figures + experiment index
+    repro-bench platforms                    # the platform roster
+    repro-bench run fig11 [--seed N] [--quick] [--json out/]
+    repro-bench run all   [--seed N] [--quick] [--json out/]
+    repro-bench findings  [--seed N]
+    repro-bench hap [platform ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiment import EXPERIMENTS
+from repro.core.suite import BenchmarkSuite
+from repro.kernel.functions import KernelFunctionCatalog
+from repro.platforms import get_platform, platform_names
+from repro.security.analysis import audit_platform
+from repro.security.epss import EpssModel
+from repro.security.hap import measure_hap
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-bench argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the Middleware '21 isolation-platform study.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible figures")
+    subparsers.add_parser("platforms", help="list platform configurations")
+
+    run = subparsers.add_parser("run", help="run one figure (or 'all')")
+    run.add_argument("figure", help="figure id (fig05..fig18, cpu-prime) or 'all'")
+    run.add_argument("--quick", action="store_true", help="reduced repetitions")
+    run.add_argument("--json", metavar="DIR", help="archive results as JSON")
+
+    findings = subparsers.add_parser("findings", help="check the 28 findings")
+    findings.add_argument("--full", action="store_true", help="paper-scale repetitions")
+
+    hap = subparsers.add_parser("hap", help="HAP + defense-in-depth audit")
+    hap.add_argument("platforms", nargs="*", help="platform names (default: main roster)")
+
+    advise = subparsers.add_parser(
+        "advise", help="recommend platforms for weighted workload needs"
+    )
+    for dimension in ("cpu", "memory", "disk", "network", "startup", "isolation"):
+        advise.add_argument(
+            f"--{dimension}", type=float, default=0.5, metavar="W",
+            help=f"{dimension} weight in [0, 1] (default 0.5)",
+        )
+    advise.add_argument("--top", type=int, default=3, help="recommendations to show")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'figure':<10} {'paper artefact':<16} {'workload'}")
+    print("-" * 80)
+    for experiment in EXPERIMENTS.values():
+        print(
+            f"{experiment.figure_id:<10} {experiment.paper_artifact:<16} "
+            f"{experiment.workload}"
+        )
+    return 0
+
+
+def _cmd_platforms() -> int:
+    for name in platform_names():
+        platform = get_platform(name)
+        print(f"{name:<20} {platform.family.value:<17} {platform.label}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(seed=args.seed, quick=args.quick)
+    targets = suite.figure_ids() if args.figure == "all" else [args.figure]
+    for figure_id in targets:
+        figure = suite.run_figure(figure_id)
+        print(figure.render())
+        print()
+    if args.json:
+        written = suite.save_results(args.json)
+        print(f"archived {len(written)} files to {args.json}/")
+    return 0
+
+
+def _cmd_findings(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(seed=args.seed, quick=not args.full)
+    report = suite.findings_report()
+    print(report)
+    return 0 if report.startswith("Findings reproduced: 28/28") else 1
+
+
+def _cmd_hap(args: argparse.Namespace) -> int:
+    names = args.platforms or [
+        "native", "docker", "lxc", "qemu", "firecracker",
+        "cloud-hypervisor", "kata", "gvisor", "osv",
+    ]
+    catalog = KernelFunctionCatalog()
+    epss = EpssModel()
+    print(f"{'platform':<18} {'HAP':>6} {'weighted':>10} {'depth':>7}")
+    print("-" * 45)
+    for name in names:
+        platform = get_platform(name)
+        score = measure_hap(platform, catalog, epss)
+        audit = audit_platform(platform, score)
+        print(
+            f"{name:<18} {score.unique_functions:>6} "
+            f"{score.weighted_score:>10.1f} {audit.depth_score:>7.1f}"
+        )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import PlatformAdvisor, WorkloadNeeds
+
+    needs = WorkloadNeeds(
+        cpu=args.cpu,
+        memory=args.memory,
+        disk=args.disk,
+        network=args.network,
+        startup=args.startup,
+        isolation=args.isolation,
+    )
+    advisor = PlatformAdvisor(seed=args.seed)
+    for rank, recommendation in enumerate(advisor.recommend(needs, top=args.top), start=1):
+        print(f"{rank}. {recommendation.explain()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "platforms":
+            return _cmd_platforms()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "findings":
+            return _cmd_findings(args)
+        if args.command == "hap":
+            return _cmd_hap(args)
+        if args.command == "advise":
+            return _cmd_advise(args)
+    except BrokenPipeError:
+        # Output truncated by a downstream pager/head: not an error.
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The benchmark suite — the paper's primary contribution, as a library.
+
+* :mod:`repro.core.stats`      — summary statistics, percentiles, CDFs
+* :mod:`repro.core.results`    — figure/table result containers + JSON
+* :mod:`repro.core.experiment` — the experiment registry (per-figure metadata)
+* :mod:`repro.core.runner`     — repetition engine with seed management
+* :mod:`repro.core.figures`    — one reproduction function per paper figure
+* :mod:`repro.core.report`     — ASCII rendering of tables and figures
+* :mod:`repro.core.findings`   — automated checks of the paper's findings
+* :mod:`repro.core.suite`      — the user-facing BenchmarkSuite facade
+"""
+
+from repro.core.stats import Summary, summarize, percentile, cdf_points
+from repro.core.results import FigureResult, ResultRow, SeriesRow
+from repro.core.experiment import Experiment, EXPERIMENTS, get_experiment
+from repro.core.runner import Runner
+from repro.core.suite import BenchmarkSuite
+from repro.core.findings import FindingCheck, check_all_findings
+from repro.core.density import DensityModel, GuestFootprint
+from repro.core.advisor import PlatformAdvisor, WorkloadNeeds, Recommendation
+from repro.core.sensitivity import (
+    SensitivityResult,
+    sweep_clh_net_maturity,
+    sweep_ninep_amplification,
+    sweep_ninep_vs_virtiofs_crossover,
+)
+
+__all__ = [
+    "SensitivityResult",
+    "sweep_ninep_amplification",
+    "sweep_clh_net_maturity",
+    "sweep_ninep_vs_virtiofs_crossover",
+    "Summary",
+    "summarize",
+    "percentile",
+    "cdf_points",
+    "FigureResult",
+    "ResultRow",
+    "SeriesRow",
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "Runner",
+    "BenchmarkSuite",
+    "FindingCheck",
+    "check_all_findings",
+    "DensityModel",
+    "GuestFootprint",
+    "PlatformAdvisor",
+    "WorkloadNeeds",
+    "Recommendation",
+]

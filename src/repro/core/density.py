@@ -1,0 +1,124 @@
+"""Guest-density model — the economics behind the paper's motivation.
+
+Section 1 frames the container wave as a density play: "ultimately
+allowing for higher density", and Section 3.2 notes that KSM "enables the
+sharing of memory between multiple processes (like VMs), which increases
+density" — at an isolation cost. This module quantifies both: how many
+idle guests of each platform fit into the testbed's 256 GiB, with and
+without same-page merging.
+
+Per-guest memory is composed from the models that already exist: the
+guest kernel image (resident after boot), the rootfs/userspace footprint,
+the VMM process overhead, and per-container runtime daemons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import Machine, paper_testbed
+from repro.platforms import get_platform
+from repro.platforms.base import Platform, PlatformFamily
+from repro.units import MIB
+
+__all__ = ["GuestFootprint", "DensityModel"]
+
+#: Resident footprint components per platform family (idle guest, MiB).
+_FOOTPRINTS: dict[str, tuple[float, float, float]] = {
+    # (isolation overhead, guest kernel/runtime, userspace) in MiB
+    "native": (0.0, 0.0, 6.0),
+    "docker": (4.0, 0.0, 6.0),          # shim + netns bookkeeping
+    "lxc": (3.0, 0.0, 34.0),            # full systemd userspace
+    "qemu": (145.0, 62.0, 6.0),         # QEMU process + guest Linux
+    "qemu-qboot": (145.0, 62.0, 6.0),
+    "qemu-microvm": (96.0, 58.0, 6.0),
+    "firecracker": (12.0, 58.0, 6.0),   # the microVM headline feature
+    "cloud-hypervisor": (28.0, 58.0, 6.0),
+    "kata": (160.0, 38.0, 22.0),        # QEMU + trimmed kernel + agent/mini-OS
+    "kata-virtiofs": (168.0, 38.0, 22.0),
+    "gvisor": (32.0, 18.0, 6.0),        # Sentry + Gofer
+    "gvisor-ptrace": (30.0, 18.0, 6.0),
+    "osv": (145.0, 9.0, 0.0),           # QEMU process + the unikernel itself
+    "osv-fc": (12.0, 9.0, 0.0),
+}
+
+#: Fraction of guest-kernel/userspace pages KSM can merge across
+#: identical idle guests (hot data stays unshared).
+_KSM_SHAREABLE_FRACTION = 0.65
+
+
+@dataclass(frozen=True)
+class GuestFootprint:
+    """Resident memory of one idle guest."""
+
+    platform: str
+    isolation_overhead_bytes: float
+    kernel_bytes: float
+    userspace_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Unshared resident footprint."""
+        return self.isolation_overhead_bytes + self.kernel_bytes + self.userspace_bytes
+
+    def shared_bytes(self, ksm: bool) -> float:
+        """Effective marginal footprint when packing identical guests."""
+        if not ksm:
+            return self.total_bytes
+        mergeable = (self.kernel_bytes + self.userspace_bytes) * _KSM_SHAREABLE_FRACTION
+        return self.total_bytes - mergeable
+
+
+class DensityModel:
+    """How many idle guests fit on the testbed."""
+
+    def __init__(self, machine: Machine | None = None, app_bytes: int = 64 * MIB) -> None:
+        if app_bytes < 0:
+            raise ConfigurationError("application footprint must be non-negative")
+        self.machine = machine if machine is not None else paper_testbed()
+        self.app_bytes = app_bytes
+        #: Host reserve: kernel, daemons, page-cache headroom.
+        self.host_reserve_bytes = 8 * 1024 * MIB
+
+    def footprint(self, platform: Platform | str) -> GuestFootprint:
+        """The per-guest footprint of one platform."""
+        if isinstance(platform, str):
+            platform = get_platform(platform)
+        try:
+            overhead, kernel, userspace = _FOOTPRINTS[platform.name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no footprint data for platform {platform.name!r}"
+            ) from None
+        return GuestFootprint(
+            platform=platform.name,
+            isolation_overhead_bytes=overhead * MIB,
+            kernel_bytes=kernel * MIB,
+            userspace_bytes=userspace * MIB,
+        )
+
+    def max_guests(self, platform: Platform | str, *, ksm: bool = False) -> int:
+        """Idle guests (each running a ``app_bytes`` application) that fit.
+
+        KSM only helps platforms whose guests carry their *own* kernel and
+        userspace images (VM-based families); container processes already
+        share the host kernel and page cache.
+        """
+        if isinstance(platform, str):
+            platform = get_platform(platform)
+        footprint = self.footprint(platform)
+        ksm_applies = ksm and platform.family in (
+            PlatformFamily.HYPERVISOR,
+            PlatformFamily.SECURE_CONTAINER,
+            PlatformFamily.UNIKERNEL,
+        )
+        per_guest = footprint.shared_bytes(ksm_applies) + self.app_bytes
+        budget = self.machine.total_memory_bytes - self.host_reserve_bytes
+        return max(0, int(budget // per_guest))
+
+    def ksm_density_gain(self, platform: Platform | str) -> float:
+        """Relative density increase from enabling KSM."""
+        without = self.max_guests(platform, ksm=False)
+        with_ksm = self.max_guests(platform, ksm=True)
+        return with_ksm / without - 1.0 if without else 0.0

@@ -1,0 +1,510 @@
+"""Figure reproductions — one function per paper artefact.
+
+Every function takes a ``seed`` plus optional repetition/platform
+overrides, runs the relevant workload through the
+:class:`~repro.core.runner.Runner`, and returns a
+:class:`~repro.core.results.FigureResult` whose rows/series mirror what
+the paper plots. Platform exclusions follow Section 3 and are recorded in
+the result's notes rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.results import FigureResult, ResultRow, SeriesRow
+from repro.core.runner import Runner
+from repro.core.stats import summarize
+from repro.errors import UnsupportedOperationError
+from repro.kernel.functions import KernelFunctionCatalog
+from repro.platforms import PLATFORM_SETS, get_platform
+from repro.security.epss import EpssModel
+from repro.security.hap import measure_hap
+from repro.workloads.ffmpeg import FfmpegEncodeWorkload
+from repro.workloads.fio import FioLatencyWorkload, FioThroughputWorkload
+from repro.workloads.iperf import IperfWorkload
+from repro.workloads.memcached import MemcachedYcsbWorkload
+from repro.workloads.mysql import MysqlOltpWorkload
+from repro.workloads.netperf import NetperfWorkload
+from repro.workloads.startup import MeasurementMethod, StartupWorkload
+from repro.workloads.stream import StreamWorkload
+from repro.workloads.sysbench_cpu import SysbenchCpuWorkload
+from repro.workloads.tinymembench import (
+    TinymembenchLatencyWorkload,
+    TinymembenchThroughputWorkload,
+)
+
+__all__ = ["FIGURES", "figure_ids", "run_figure"]
+
+
+def _platforms(default_set: str, override: list[str] | None) -> list[str]:
+    return list(override) if override is not None else list(PLATFORM_SETS[default_set])
+
+
+# --- Figure 5: ffmpeg ------------------------------------------------------------
+
+
+def fig05_ffmpeg(
+    seed: int, repetitions: int = 10, platforms: list[str] | None = None
+) -> FigureResult:
+    """ffmpeg H.264->H.265 re-encode time per platform (ms)."""
+    runner = Runner(seed, "fig05")
+    workload = FfmpegEncodeWorkload(threads=16, preset="slower")
+    result = FigureResult(
+        figure_id="fig05",
+        title="ffmpeg video re-encoding CPU bound benchmark (1080p H.264 -> H.265)",
+        unit="ms",
+    )
+    for name in _platforms("cpu", platforms):
+        platform = get_platform(name)
+        summary = runner.repeat(
+            workload, platform, repetitions, lambda r: r.encode_time_ms
+        )
+        result.rows.append(ResultRow(name, platform.label, summary, "ms"))
+    result.notes.append("OSv is the outlier: custom thread scheduler + SIMD handling.")
+    return result
+
+
+def cpu_prime_control(
+    seed: int, repetitions: int = 10, platforms: list[str] | None = None
+) -> FigureResult:
+    """Sysbench prime verification control (events/s, single thread)."""
+    runner = Runner(seed, "cpu-prime")
+    workload = SysbenchCpuWorkload()
+    result = FigureResult(
+        figure_id="cpu-prime",
+        title="Sysbench CPU prime verification (Finding 1 control)",
+        unit="events/s",
+    )
+    for name in _platforms("cpu", platforms):
+        platform = get_platform(name)
+        summary = runner.repeat(
+            workload, platform, repetitions, lambda r: r.events_per_second
+        )
+        result.rows.append(ResultRow(name, platform.label, summary, "events/s"))
+    result.notes.append("All platforms perform nearly equivalently (Finding 1).")
+    return result
+
+
+# --- Figure 6: memory latency ------------------------------------------------------
+
+
+def fig06_memory_latency(
+    seed: int,
+    repetitions: int = 10,
+    platforms: list[str] | None = None,
+    *,
+    huge_pages: bool = False,
+) -> FigureResult:
+    """Tinymembench random-access latency vs. buffer size (ns over L1)."""
+    runner = Runner(seed, "fig06" + ("-huge" if huge_pages else ""))
+    workload = TinymembenchLatencyWorkload(huge_pages=huge_pages)
+    result = FigureResult(
+        figure_id="fig06" if not huge_pages else "fig06-hugepages",
+        title="Memory latency (tinymembench), buffers 2^16..2^26",
+        unit="ns",
+        x_label="buffer bytes",
+    )
+    for name in _platforms("memory", platforms):
+        platform = get_platform(name)
+        try:
+            workload.check_supported(platform)
+        except UnsupportedOperationError as exc:
+            result.notes.append(f"{name}: excluded ({exc})")
+            continue
+        runs = runner.collect_results(workload, platform, repetitions)
+        x_values = tuple(float(p.buffer_bytes) for p in runs[0])
+        per_buffer = list(zip(*[[p.extra_latency_ns for p in run] for run in runs]))
+        means = tuple(summarize(list(vals)).mean for vals in per_buffer)
+        errs = tuple(summarize(list(vals)).std for vals in per_buffer)
+        result.series.append(
+            SeriesRow(name, platform.label, x_values, means, errs, unit="ns")
+        )
+    return result
+
+
+# --- Figure 7: memory throughput ----------------------------------------------------
+
+
+def fig07_memory_throughput(
+    seed: int, repetitions: int = 10, platforms: list[str] | None = None
+) -> FigureResult:
+    """Tinymembench sequential copy throughput, regular + SSE2 (MiB/s)."""
+    runner = Runner(seed, "fig07")
+    workload = TinymembenchThroughputWorkload()
+    result = FigureResult(
+        figure_id="fig07",
+        title="Memory copy throughput (tinymembench), regular and SSE2",
+        unit="MiB/s",
+    )
+    for name in _platforms("memory", platforms):
+        platform = get_platform(name)
+        runs = runner.collect_results(workload, platform, repetitions)
+        copy = summarize([r.copy_mib_per_s for r in runs])
+        sse2 = summarize([r.sse2_mib_per_s for r in runs])
+        result.rows.append(
+            ResultRow(
+                name,
+                platform.label,
+                copy,
+                "MiB/s",
+                extra={"sse2_mean": sse2.mean, "sse2_std": sse2.std},
+            )
+        )
+    return result
+
+
+# --- Figure 8: STREAM ----------------------------------------------------------------
+
+
+def fig08_stream(
+    seed: int, repetitions: int = 10, platforms: list[str] | None = None
+) -> FigureResult:
+    """STREAM COPY bandwidth (MiB/s), average of per-run maxima."""
+    runner = Runner(seed, "fig08")
+    workload = StreamWorkload()
+    result = FigureResult(
+        figure_id="fig08",
+        title="STREAM COPY throughput, 2.2 GiB allocation",
+        unit="MiB/s",
+    )
+    for name in _platforms("memory", platforms):
+        platform = get_platform(name)
+        summary = runner.repeat(workload, platform, repetitions, lambda r: r.copy_mib_per_s)
+        result.rows.append(ResultRow(name, platform.label, summary, "MiB/s"))
+    return result
+
+
+# --- Figures 9/10: fio ------------------------------------------------------------------
+
+
+def fig09_fio_throughput(
+    seed: int,
+    repetitions: int = 10,
+    platforms: list[str] | None = None,
+    *,
+    drop_host_cache: bool = True,
+) -> FigureResult:
+    """fio sequential 128 KiB read/write throughput (MB/s)."""
+    runner = Runner(seed, "fig09" + ("" if drop_host_cache else "-cached"))
+    workload = FioThroughputWorkload(drop_host_cache=drop_host_cache)
+    result = FigureResult(
+        figure_id="fig09" if drop_host_cache else "fig09-cached",
+        title="fio 128 KiB sequential throughput (libaio, direct=1)",
+        unit="MB/s",
+    )
+    for name in _platforms("io_throughput", platforms):
+        platform = get_platform(name)
+        try:
+            workload.check_supported(platform)
+        except UnsupportedOperationError as exc:
+            result.notes.append(f"{name}: excluded ({exc})")
+            continue
+        runs = runner.collect_results(workload, platform, repetitions)
+        read = summarize([r.read_mb_per_s for r in runs])
+        write = summarize([r.write_mb_per_s for r in runs])
+        result.rows.append(
+            ResultRow(
+                name,
+                platform.label,
+                read,
+                "MB/s",
+                extra={"write_mean": write.mean, "write_std": write.std},
+            )
+        )
+    result.notes.append("Firecracker and OSv excluded (Section 3.3).")
+    return result
+
+
+def fig10_fio_latency(
+    seed: int, repetitions: int = 10, platforms: list[str] | None = None
+) -> FigureResult:
+    """fio 4 KiB randread latency (us)."""
+    runner = Runner(seed, "fig10")
+    workload = FioLatencyWorkload()
+    result = FigureResult(
+        figure_id="fig10",
+        title="fio randread latency, 4 KiB blocks (libaio)",
+        unit="us",
+    )
+    for name in _platforms("io_latency", platforms):
+        platform = get_platform(name)
+        try:
+            workload.check_supported(platform)
+        except UnsupportedOperationError as exc:
+            result.notes.append(f"{name}: excluded ({exc})")
+            continue
+        summary = runner.repeat(workload, platform, repetitions, lambda r: r.mean_latency_us)
+        result.rows.append(ResultRow(name, platform.label, summary, "us"))
+    result.notes.append("gVisor excluded: reads stay cached (Section 3.3).")
+    return result
+
+
+# --- Figures 11/12: network --------------------------------------------------------------
+
+
+def fig11_iperf(
+    seed: int, repetitions: int = 5, platforms: list[str] | None = None
+) -> FigureResult:
+    """iperf3 throughput (Gbit/s), maximum over repetitions."""
+    runner = Runner(seed, "fig11")
+    workload = IperfWorkload()
+    result = FigureResult(
+        figure_id="fig11",
+        title="iperf3 network throughput (max over 5 runs)",
+        unit="Gbit/s",
+    )
+    for name in _platforms("network", platforms):
+        platform = get_platform(name)
+        values = runner.collect(
+            workload, platform, repetitions, lambda r: r.throughput_gbit_per_s
+        )
+        summary = summarize(values)
+        result.rows.append(
+            ResultRow(
+                name,
+                platform.label,
+                summary,
+                "Gbit/s",
+                extra={"max": summary.maximum},
+            )
+        )
+    return result
+
+
+def fig12_netperf(
+    seed: int, repetitions: int = 5, platforms: list[str] | None = None
+) -> FigureResult:
+    """Netperf request/response P90 latency (us)."""
+    runner = Runner(seed, "fig12")
+    workload = NetperfWorkload()
+    result = FigureResult(
+        figure_id="fig12",
+        title="Netperf network latency, 90th percentile",
+        unit="us",
+    )
+    for name in _platforms("network", platforms):
+        platform = get_platform(name)
+        summary = runner.repeat(workload, platform, repetitions, lambda r: r.p90_latency_us)
+        result.rows.append(ResultRow(name, platform.label, summary, "us"))
+    return result
+
+
+# --- Figures 13/14/15: startup -------------------------------------------------------------
+
+
+def _startup_figure(
+    figure_id: str,
+    title: str,
+    platform_set: str,
+    seed: int,
+    startups: int,
+    platforms: list[str] | None,
+    methods: tuple[MeasurementMethod, ...] = (MeasurementMethod.END_TO_END,),
+) -> FigureResult:
+    runner = Runner(seed, figure_id)
+    result = FigureResult(figure_id=figure_id, title=title, unit="ms", x_label="ms")
+    for name in _platforms(platform_set, platforms):
+        platform = get_platform(name)
+        for method in methods:
+            workload = StartupWorkload(startups=startups, method=method)
+            run = workload.run(platform, runner.stream_for(platform, method.value))
+            xs, ys = run.cdf()
+            label = platform.label
+            if len(methods) > 1:
+                label = f"{platform.label} [{method.value}]"
+            result.series.append(
+                SeriesRow(
+                    platform=name if len(methods) == 1 else f"{name}:{method.value}",
+                    label=label,
+                    x_values=tuple(xs),
+                    y_values=tuple(ys),
+                    unit="ms",
+                )
+            )
+            samples_ms = [s * 1e3 for s in run.samples_s]
+            result.rows.append(
+                ResultRow(
+                    platform=name if len(methods) == 1 else f"{name}:{method.value}",
+                    label=label,
+                    summary=summarize(samples_ms),
+                    unit="ms",
+                )
+            )
+    return result
+
+
+def fig13_container_boot(
+    seed: int, startups: int = 300, platforms: list[str] | None = None
+) -> FigureResult:
+    """Container runtime startup CDF, Docker-daemon vs. direct OCI."""
+    result = _startup_figure(
+        "fig13",
+        "Container boot time CDF (300 startups; OCI = direct runtime invocation)",
+        "container_boot",
+        seed,
+        startups,
+        platforms,
+    )
+    result.notes.append("The Docker daemon adds ~250 ms over direct OCI invocation.")
+    return result
+
+
+def fig14_hypervisor_boot(
+    seed: int, startups: int = 300, platforms: list[str] | None = None
+) -> FigureResult:
+    """Hypervisor boot CDF with the same kernel/rootfs and patched init."""
+    result = _startup_figure(
+        "fig14",
+        "Hypervisor boot time CDF (300 startups, patched init)",
+        "hypervisor_boot",
+        seed,
+        startups,
+        platforms,
+    )
+    result.notes.append(
+        "Firecracker is slowest end-to-end despite its reputation (Conclusion 5)."
+    )
+    return result
+
+
+def fig15_osv_boot(
+    seed: int, startups: int = 300, platforms: list[str] | None = None
+) -> FigureResult:
+    """OSv boot CDF under its hypervisors, both measurement methods."""
+    result = _startup_figure(
+        "fig15",
+        "OSv boot time CDF under supported hypervisors (300 startups)",
+        "osv_boot",
+        seed,
+        startups,
+        platforms,
+        methods=(MeasurementMethod.END_TO_END, MeasurementMethod.STDOUT_GREP),
+    )
+    result.notes.append(
+        "End-to-end and stdout-grep curves nearly superimpose (Finding 16); "
+        "the hypervisor ordering reverses versus Figure 14."
+    )
+    return result
+
+
+# --- Figures 16/17: applications ---------------------------------------------------------------
+
+
+def fig16_memcached(
+    seed: int, repetitions: int = 5, platforms: list[str] | None = None
+) -> FigureResult:
+    """Memcached under YCSB workload-a (ops/s)."""
+    runner = Runner(seed, "fig16")
+    workload = MemcachedYcsbWorkload()
+    result = FigureResult(
+        figure_id="fig16",
+        title="Memcached YCSB workload-a throughput",
+        unit="ops/s",
+    )
+    for name in _platforms("applications", platforms):
+        platform = get_platform(name)
+        summary = runner.repeat(
+            workload, platform, repetitions, lambda r: r.throughput_ops_per_s
+        )
+        result.rows.append(ResultRow(name, platform.label, summary, "ops/s"))
+    return result
+
+
+def fig17_mysql(
+    seed: int, repetitions: int = 3, platforms: list[str] | None = None
+) -> FigureResult:
+    """MySQL sysbench oltp_read_write TPS over 10..160 threads."""
+    runner = Runner(seed, "fig17")
+    workload = MysqlOltpWorkload()
+    result = FigureResult(
+        figure_id="fig17",
+        title="MySQL sysbench oltp_read_write with increasing threads",
+        unit="tps",
+        x_label="threads",
+    )
+    for name in _platforms("applications", platforms):
+        platform = get_platform(name)
+        runs = runner.collect_results(workload, platform, repetitions)
+        x_values = tuple(float(t) for t in runs[0].thread_counts)
+        per_thread = list(zip(*[run.tps for run in runs]))
+        means = tuple(summarize(list(vals)).mean for vals in per_thread)
+        errs = tuple(summarize(list(vals)).std for vals in per_thread)
+        result.series.append(
+            SeriesRow(name, platform.label, x_values, means, errs, unit="tps")
+        )
+    result.notes.append("Wide error bands; no stable ranking in the top group (Finding 23).")
+    return result
+
+
+# --- Figure 18: HAP -----------------------------------------------------------------------------
+
+
+def fig18_hap(seed: int, platforms: list[str] | None = None) -> FigureResult:
+    """Extended HAP: distinct host-kernel functions, EPSS-weighted score."""
+    del seed  # the HAP measurement is fully deterministic
+    catalog = KernelFunctionCatalog()
+    epss = EpssModel()
+    result = FigureResult(
+        figure_id="fig18",
+        title="Extended HAP metric (host kernel functions, EPSS-weighted)",
+        unit="functions",
+    )
+    for name in _platforms("security", platforms):
+        platform = get_platform(name)
+        score = measure_hap(platform, catalog, epss)
+        summary = summarize([float(score.unique_functions)])
+        result.rows.append(
+            ResultRow(
+                name,
+                platform.label,
+                summary,
+                "functions",
+                extra={
+                    "weighted_score": score.weighted_score,
+                    "total_invocations": float(score.total_invocations),
+                },
+            )
+        )
+    result.notes.append(
+        "Firecracker exposes the widest host interface; OSv the narrowest "
+        "(Findings 24-27)."
+    )
+    return result
+
+
+# --- registry -----------------------------------------------------------------------------------
+
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig05": fig05_ffmpeg,
+    "cpu-prime": cpu_prime_control,
+    "fig06": fig06_memory_latency,
+    "fig07": fig07_memory_throughput,
+    "fig08": fig08_stream,
+    "fig09": fig09_fio_throughput,
+    "fig10": fig10_fio_latency,
+    "fig11": fig11_iperf,
+    "fig12": fig12_netperf,
+    "fig13": fig13_container_boot,
+    "fig14": fig14_hypervisor_boot,
+    "fig15": fig15_osv_boot,
+    "fig16": fig16_memcached,
+    "fig17": fig17_mysql,
+    "fig18": fig18_hap,
+}
+
+
+def figure_ids() -> list[str]:
+    """All reproducible figure identifiers."""
+    return list(FIGURES)
+
+
+def run_figure(figure_id: str, seed: int, **kwargs) -> FigureResult:
+    """Run one figure reproduction by id."""
+    try:
+        function = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
+        ) from None
+    return function(seed, **kwargs)

@@ -1,0 +1,77 @@
+"""Repetition engine.
+
+Runs a workload ``n`` times on a platform with independent per-repetition
+RNG streams (derived from ``figure/platform/rep-i``), extracts a scalar
+metric from each result, and summarizes. All figure reproductions go
+through this, so seed management is uniform and results are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.stats import Summary, summarize
+from repro.errors import ConfigurationError
+from repro.platforms.base import Platform
+from repro.rng import RngStream
+from repro.workloads.base import Workload
+
+__all__ = ["Runner"]
+
+
+class Runner:
+    """Executes repeated workload runs under a derived seed tree."""
+
+    def __init__(self, seed: int, scope: str) -> None:
+        self.root = RngStream(seed, scope)
+
+    def stream_for(self, platform: Platform, tag: str = "") -> RngStream:
+        """The platform's stream within this runner's scope."""
+        path = platform.name if not tag else f"{platform.name}/{tag}"
+        return self.root.child(path)
+
+    def repeat(
+        self,
+        workload: Workload,
+        platform: Platform,
+        repetitions: int,
+        metric: Callable[[Any], float],
+        tag: str = "",
+    ) -> Summary:
+        """Run ``repetitions`` times and summarize ``metric`` of each result."""
+        values = self.collect(workload, platform, repetitions, metric, tag)
+        return summarize(values)
+
+    def collect(
+        self,
+        workload: Workload,
+        platform: Platform,
+        repetitions: int,
+        metric: Callable[[Any], float],
+        tag: str = "",
+    ) -> list[float]:
+        """Run repeatedly and return the raw metric values."""
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        stream = self.stream_for(platform, tag)
+        values: list[float] = []
+        for index in range(repetitions):
+            result = workload.run(platform, stream.child(f"rep-{index}"))
+            values.append(float(metric(result)))
+        return values
+
+    def collect_results(
+        self,
+        workload: Workload,
+        platform: Platform,
+        repetitions: int,
+        tag: str = "",
+    ) -> list[Any]:
+        """Run repeatedly and return the full result objects."""
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        stream = self.stream_for(platform, tag)
+        return [
+            workload.run(platform, stream.child(f"rep-{index}"))
+            for index in range(repetitions)
+        ]

@@ -1,0 +1,142 @@
+"""The user-facing benchmark suite.
+
+:class:`BenchmarkSuite` is the library's front door: it runs individual
+figure reproductions or the complete evaluation, caches results, renders
+reports, checks the paper's findings, and archives everything as JSON.
+
+Example::
+
+    from repro import BenchmarkSuite
+
+    suite = BenchmarkSuite(seed=42)
+    print(suite.run_figure("fig11").render())
+    report = suite.findings_report()
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.core.experiment import EXPERIMENTS, get_experiment
+from repro.core.figures import FIGURES, figure_ids, run_figure
+from repro.core.findings import FindingCheck, FindingsEvaluator
+from repro.core.results import FigureResult
+from repro.errors import ConfigurationError
+from repro.hardware.topology import paper_testbed
+
+__all__ = ["BenchmarkSuite"]
+
+
+class BenchmarkSuite:
+    """Runs the paper's full evaluation against the simulated testbed."""
+
+    def __init__(self, seed: int = 42, *, quick: bool = False) -> None:
+        self.seed = seed
+        self.quick = quick
+        self.machine = paper_testbed()
+        self._results: dict[str, FigureResult] = {}
+
+    # --- figure execution ---------------------------------------------------------
+
+    def figure_ids(self) -> list[str]:
+        """All reproducible figures/tables."""
+        return figure_ids()
+
+    def _quick_kwargs(self, figure_id: str) -> dict[str, Any]:
+        if not self.quick:
+            return {}
+        if figure_id in ("fig13", "fig14", "fig15"):
+            return {"startups": 60}
+        if figure_id in ("fig18",):
+            return {}
+        return {"repetitions": 3}
+
+    def run_figure(self, figure_id: str, **overrides: Any) -> FigureResult:
+        """Run (and cache) one figure reproduction."""
+        if figure_id not in FIGURES:
+            raise ConfigurationError(
+                f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
+            )
+        cache_key = figure_id if not overrides else None
+        if cache_key and cache_key in self._results:
+            return self._results[cache_key]
+        kwargs = self._quick_kwargs(figure_id)
+        kwargs.update(overrides)
+        result = run_figure(figure_id, self.seed, **kwargs)
+        if cache_key:
+            self._results[cache_key] = result
+        return result
+
+    def run_all(self) -> dict[str, FigureResult]:
+        """Run every figure reproduction."""
+        return {figure_id: self.run_figure(figure_id) for figure_id in figure_ids()}
+
+    # --- findings -------------------------------------------------------------------
+
+    def check_findings(self) -> list[FindingCheck]:
+        """Evaluate all 28 paper findings."""
+        evaluator = FindingsEvaluator(self.seed, quick=self.quick)
+        # Share already-computed figures where repetition counts line up.
+        return evaluator.evaluate()
+
+    def findings_report(self) -> str:
+        """Human-readable pass/fail report for the 28 findings."""
+        checks = self.check_findings()
+        passed = sum(1 for c in checks if c.passed)
+        lines = [f"Findings reproduced: {passed}/{len(checks)}", ""]
+        for check in checks:
+            marker = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{marker}] Finding {check.finding_id:2d}: {check.statement}")
+            lines.append(f"        {check.detail}")
+        return "\n".join(lines)
+
+    # --- reporting -------------------------------------------------------------------
+
+    def experiment_index(self) -> str:
+        """The DESIGN.md per-experiment index, rendered from the registry."""
+        lines = ["figure    paper artefact   bench target"]
+        for experiment in EXPERIMENTS.values():
+            lines.append(
+                f"{experiment.figure_id:<9} {experiment.paper_artifact:<16} "
+                f"{experiment.bench_target}"
+            )
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """Suite header: testbed and scope."""
+        return (
+            f"Isolation-platform benchmark suite (seed={self.seed})\n"
+            f"Simulated testbed: {self.machine.describe()}\n"
+            f"Figures: {', '.join(figure_ids())}"
+        )
+
+    def save_results(self, directory: str | pathlib.Path) -> list[pathlib.Path]:
+        """Archive all cached figure results as JSON files."""
+        target = pathlib.Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written: list[pathlib.Path] = []
+        for figure_id, result in sorted(self._results.items()):
+            path = target / f"{figure_id}.json"
+            path.write_text(result.to_json())
+            written.append(path)
+        manifest = target / "manifest.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "seed": self.seed,
+                    "quick": self.quick,
+                    "machine": self.machine.describe(),
+                    "figures": [p.name for p in written],
+                    "experiments": {
+                        fid: get_experiment(fid).paper_artifact
+                        for fid in self._results
+                        if fid in EXPERIMENTS
+                    },
+                },
+                indent=2,
+            )
+        )
+        written.append(manifest)
+        return written

@@ -1,0 +1,25 @@
+"""Guest system images: kernels, root filesystems, and init systems.
+
+Hypervisor boot time (Figures 14/15) is dominated by what is booted, not
+just who boots it: compressed bzImage + BIOS vs. uncompressed vmlinux via
+the 64-bit boot protocol vs. a unikernel image a fraction of the size.
+These models make that explicit so the boot-order *reversal* between
+Figure 14 (Linux guests: Firecracker slowest) and Figure 15 (OSv guests:
+Firecracker fastest) emerges from image properties.
+"""
+
+from repro.guests.linux import GuestKernelImage, standard_linux_guest, kata_optimized_kernel
+from repro.guests.osv_kernel import OsvImage, osv_image
+from repro.guests.clearlinux import ClearLinuxRootfs
+from repro.guests.init import InitSystem, INIT_SYSTEMS
+
+__all__ = [
+    "GuestKernelImage",
+    "standard_linux_guest",
+    "kata_optimized_kernel",
+    "OsvImage",
+    "osv_image",
+    "ClearLinuxRootfs",
+    "InitSystem",
+    "INIT_SYSTEMS",
+]

@@ -1,0 +1,116 @@
+"""Guest Linux kernel images.
+
+Two properties drive boot time differences between hypervisors
+(Section 2.1.2):
+
+* **Boot protocol** — the classic x86 path walks 16-bit real mode →
+  32-bit protected mode → 64-bit long mode behind a BIOS; Firecracker
+  (and Cloud Hypervisor, and QEMU's microvm machine) instead jump straight
+  to the kernel's 64-bit entry point (the "Linux 64-bit boot protocol").
+* **Compression** — a bzImage decompresses itself at startup (CPU time,
+  but a small file to load); an uncompressed vmlinux skips decompression
+  but is several times larger to read and place in guest memory, which is
+  one reason Firecracker's *end-to-end* boot is slower than its reputation
+  (Finding 14 / Conclusion 5).
+
+Kernel initialization itself scales with how much hardware the kernel must
+probe, which couples boot time to the hypervisor's device-model size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MIB, ms
+
+__all__ = ["BootProtocol", "GuestKernelImage", "standard_linux_guest", "kata_optimized_kernel"]
+
+
+class BootProtocol(enum.Enum):
+    """How the kernel image is entered."""
+
+    BIOS_16BIT = "bios16"     # real-mode entry behind SeaBIOS/qboot
+    DIRECT_64BIT = "direct64"  # PVH / 64-bit boot protocol, no firmware
+
+
+@dataclass(frozen=True)
+class GuestKernelImage:
+    """One bootable guest kernel."""
+
+    name: str
+    size_bytes: int
+    compressed: bool
+    protocol: BootProtocol
+    #: Self-decompression time (zero for uncompressed images).
+    decompress_time_s: float
+    #: Core kernel init (timers, mm, scheduler) before device probing.
+    core_init_s: float
+    #: Additional init per emulated device the hypervisor exposes.
+    per_device_probe_s: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: image size must be positive")
+        if self.compressed and self.decompress_time_s <= 0:
+            raise ConfigurationError(f"{self.name}: compressed image needs decompress time")
+        if not self.compressed and self.decompress_time_s != 0:
+            raise ConfigurationError(f"{self.name}: uncompressed image cannot decompress")
+
+    def load_time_s(self, load_bandwidth: float) -> float:
+        """Seconds for the VMM to read and place the image in guest memory."""
+        if load_bandwidth <= 0:
+            raise ConfigurationError("load bandwidth must be positive")
+        return self.size_bytes / load_bandwidth
+
+    def kernel_init_time_s(self, device_count: int) -> float:
+        """Decompression + core init + device probing."""
+        if device_count < 0:
+            raise ConfigurationError("device count must be non-negative")
+        return (
+            self.decompress_time_s
+            + self.core_init_s
+            + device_count * self.per_device_probe_s
+        )
+
+
+def standard_linux_guest(*, uncompressed: bool = False) -> GuestKernelImage:
+    """The Ubuntu 20.04-era guest kernel used across Figure 14.
+
+    The same kernel in two packagings: bzImage (~10 MiB, self-extracting)
+    for BIOS-boot hypervisors, vmlinux (~45 MiB) for direct-64-bit boot.
+    """
+    if uncompressed:
+        return GuestKernelImage(
+            name="vmlinux-5.4",
+            size_bytes=45 * MIB,
+            compressed=False,
+            protocol=BootProtocol.DIRECT_64BIT,
+            decompress_time_s=0.0,
+            core_init_s=ms(38.0),
+            per_device_probe_s=ms(1.1),
+        )
+    return GuestKernelImage(
+        name="bzImage-5.4",
+        size_bytes=10 * MIB,
+        compressed=True,
+        protocol=BootProtocol.BIOS_16BIT,
+        decompress_time_s=ms(28.0),
+        core_init_s=ms(38.0),
+        per_device_probe_s=ms(1.1),
+    )
+
+
+def kata_optimized_kernel() -> GuestKernelImage:
+    """Kata's guest kernel, "highly optimized for kernel boot time and
+    minimal memory footprint" — nearly all kconfig features disabled."""
+    return GuestKernelImage(
+        name="kata-vmlinuz",
+        size_bytes=5 * MIB,
+        compressed=True,
+        protocol=BootProtocol.BIOS_16BIT,
+        decompress_time_s=ms(9.0),
+        core_init_s=ms(17.0),
+        per_device_probe_s=ms(1.4),
+    )

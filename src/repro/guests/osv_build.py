@@ -1,0 +1,86 @@
+"""The OSv image build pipeline (Section 2.4.1, Figure 4).
+
+OSv images are produced by ``build.py`` *fusing* a base OSv image with the
+application: the application must be compiled as a relocatable shared
+object (``.so``) and as a position-independent executable so the OSv
+dynamic ELF linker can map it and resolve glibc calls straight into the
+kernel library. No recompilation of application *source* is needed —
+but multi-process applications cannot run at all (no ``fork``/``exec``).
+
+This module models that pipeline: application manifests declare their
+binary format and process model; ``build_image`` validates them the way
+``build.py``'s toolchain would and produces the fused
+:class:`~repro.guests.osv_kernel.OsvImage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.guests.osv_kernel import OsvImage, osv_image
+from repro.units import MIB, ms
+
+__all__ = ["ApplicationManifest", "build_image", "BASE_IMAGE_BYTES"]
+
+#: The OSv base image (kernel library + ZFS rootfs scaffolding).
+BASE_IMAGE_BYTES = 6 * MIB
+
+
+@dataclass(frozen=True)
+class ApplicationManifest:
+    """What the application hands to ``build.py``."""
+
+    name: str
+    binary_bytes: int
+    #: Compiled as a relocatable shared object (-shared)?
+    relocatable_shared_object: bool = True
+    #: Linked position-independent (-pie)?
+    position_independent: bool = True
+    #: Does the application call fork()/exec() (multi-process design)?
+    uses_fork: bool = False
+    uses_exec: bool = False
+    threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.binary_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: binary size must be positive")
+        if self.threads < 1:
+            raise ConfigurationError(f"{self.name}: needs at least one thread")
+
+
+def build_image(manifest: ApplicationManifest) -> OsvImage:
+    """Fuse an application with the OSv base image.
+
+    Raises :class:`UnsupportedOperationError` for the two hard limits the
+    paper calls out: non-PIE/non-shared binaries cannot be linked by the
+    OSv loader, and multi-process applications cannot run (no ``fork()``
+    or ``exec()``).
+    """
+    if not manifest.relocatable_shared_object or not manifest.position_independent:
+        raise UnsupportedOperationError(
+            f"{manifest.name}: OSv requires a relocatable shared object "
+            "built as a position-independent binary (Section 2.4.1)"
+        )
+    if manifest.uses_fork or manifest.uses_exec:
+        raise UnsupportedOperationError(
+            f"{manifest.name}: OSv supports no multiple processes; fork() "
+            "and exec() are unavailable (Section 2.4.1)"
+        )
+    base = osv_image(manifest.name)
+    # Boot time grows slightly with image size: the ELF linker maps the
+    # application and resolves its relocations during startup.
+    link_time = ms(0.4) * (manifest.binary_bytes / MIB)
+    return OsvImage(
+        name=f"osv-{manifest.name}",
+        size_bytes=BASE_IMAGE_BYTES + manifest.binary_bytes,
+        boot_time_s=base.boot_time_s + link_time,
+        scheduler=base.scheduler,
+        simd_overhead_factor=base.simd_overhead_factor,
+    )
+
+
+def estimate_build_time(manifest: ApplicationManifest) -> float:
+    """Wall-clock estimate for the fuse step (image assembly + ZFS mkfs)."""
+    total_bytes = BASE_IMAGE_BYTES + manifest.binary_bytes
+    return ms(900.0) + total_bytes / (180 * MIB)  # mkfs + copy at ~180 MiB/s

@@ -1,0 +1,34 @@
+"""Hardware models for the simulated testbed.
+
+The paper's experiments ran on a dual-socket AMD EPYC2 7542 machine
+(2 x 32 cores / 64 threads, 256 GiB DDR4, fast NVMe SSD). This package
+models the components of that machine that the benchmarks exercise:
+
+* :mod:`repro.hardware.cpu`      — cores, SMT, IPC, SIMD execution
+* :mod:`repro.hardware.cache`    — L1/L2/L3 cache hierarchy
+* :mod:`repro.hardware.tlb`      — TLB reach and page-walk costs (4 KiB & 2 MiB pages)
+* :mod:`repro.hardware.memory`   — DRAM bandwidth and latency
+* :mod:`repro.hardware.storage`  — the NVMe block device
+* :mod:`repro.hardware.nic`      — the network interface
+* :mod:`repro.hardware.topology` — the assembled machine (``PAPER_TESTBED``)
+"""
+
+from repro.hardware.cpu import CpuModel
+from repro.hardware.cache import CacheHierarchy, CacheLevel
+from repro.hardware.tlb import TlbModel
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.storage import NvmeDevice
+from repro.hardware.nic import NicModel
+from repro.hardware.topology import Machine, paper_testbed
+
+__all__ = [
+    "CpuModel",
+    "CacheHierarchy",
+    "CacheLevel",
+    "TlbModel",
+    "MemorySubsystem",
+    "NvmeDevice",
+    "NicModel",
+    "Machine",
+    "paper_testbed",
+]

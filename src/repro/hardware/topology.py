@@ -1,0 +1,74 @@
+"""Machine topology: the assembled testbed.
+
+``paper_testbed()`` builds the dual-socket AMD EPYC2 7542 host used for
+every experiment in the paper (Section 3): 2 x 32 cores / 64 threads,
+256 GiB RAM, a dedicated fast NVMe SSD, and a 40 GbE-class NIC, running
+Ubuntu Server 20.04 LTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import CpuModel
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.nic import NicModel
+from repro.hardware.storage import NvmeDevice
+from repro.units import GIB
+
+__all__ = ["Machine", "paper_testbed"]
+
+
+@dataclass
+class Machine:
+    """A complete host machine."""
+
+    hostname: str = "epyc-testbed"
+    sockets: int = 2
+    cpu: CpuModel = field(default_factory=CpuModel)
+    memory: MemorySubsystem = field(default_factory=MemorySubsystem)
+    nvme: NvmeDevice = field(default_factory=NvmeDevice)
+    nic: NicModel = field(default_factory=NicModel)
+    os_name: str = "Ubuntu Server 20.04 LTS"
+    kernel_version: str = "5.4.0"
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ConfigurationError("machine needs at least one socket")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across all sockets."""
+        return self.sockets * self.cpu.physical_cores
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads across all sockets."""
+        return self.sockets * self.cpu.hardware_threads
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Installed RAM."""
+        return self.memory.total_bytes
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (README/report header)."""
+        return (
+            f"{self.hostname}: {self.sockets}x {self.cpu.name} "
+            f"({self.total_cores} cores / {self.total_threads} threads), "
+            f"{self.total_memory_bytes // GIB} GiB RAM, {self.nvme.name} NVMe, "
+            f"{self.os_name}"
+        )
+
+
+def paper_testbed() -> Machine:
+    """The exact machine configuration of the paper's evaluation."""
+    return Machine(
+        hostname="epyc2-7542",
+        sockets=2,
+        cpu=CpuModel(),
+        memory=MemorySubsystem(total_bytes=256 * GIB),
+        nvme=NvmeDevice(),
+        nic=NicModel(),
+    )

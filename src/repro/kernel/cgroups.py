@@ -1,0 +1,57 @@
+"""Control groups: the container resource-limiting primitive.
+
+Docker (at the paper's snapshot) drives cgroups v1 as root; LXC supports
+unprivileged containers on cgroups v2 (Section 2.2.2). Cgroup setup
+contributes to container startup time and to the HAP's cgroup-subsystem
+breadth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+__all__ = ["CgroupVersion", "CgroupSetup"]
+
+
+class CgroupVersion(enum.Enum):
+    """Hierarchy flavour."""
+
+    V1 = "v1"
+    V2 = "v2"
+
+
+_DEFAULT_CONTROLLERS = ("cpu", "cpuset", "memory", "io", "pids")
+
+#: Cost of creating one controller directory and writing its limits.
+_PER_CONTROLLER_COST_S = us(180.0)
+#: v1 mounts one hierarchy per controller; v2 uses a unified tree.
+_V1_EXTRA_MOUNT_COST_S = us(120.0)
+
+
+@dataclass(frozen=True)
+class CgroupSetup:
+    """The cgroup configuration a runtime applies to a new container."""
+
+    version: CgroupVersion = CgroupVersion.V1
+    controllers: tuple[str, ...] = field(default=_DEFAULT_CONTROLLERS)
+    unprivileged: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.controllers:
+            raise ConfigurationError("at least one controller required")
+        if self.unprivileged and self.version is CgroupVersion.V1:
+            raise ConfigurationError("unprivileged containers require cgroups v2")
+
+    def setup_cost(self) -> float:
+        """Seconds to create the container's cgroup tree."""
+        cost = len(self.controllers) * _PER_CONTROLLER_COST_S
+        if self.version is CgroupVersion.V1:
+            cost += len(self.controllers) * _V1_EXTRA_MOUNT_COST_S
+        if self.unprivileged:
+            # Delegation checks through systemd and permission fix-ups.
+            cost *= 1.3
+        return cost

@@ -1,0 +1,66 @@
+"""File-system models.
+
+Each file system contributes a per-operation overhead and a bandwidth
+efficiency to the I/O paths that traverse it. The paper's platforms differ
+exactly here: Docker uses overlayfs (bind mounts for the benchmark volume),
+LXC sits on ZFS, hypervisor guests use ext4 over virtio-blk, Kata shares
+the rootfs over 9p (or virtio-fs), and gVisor funnels file I/O through the
+Gofer's 9p channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+__all__ = ["Filesystem", "FILESYSTEMS"]
+
+
+@dataclass(frozen=True)
+class Filesystem:
+    """Per-filesystem cost coefficients.
+
+    * ``per_op_overhead_s`` — added to every request (metadata, journaling,
+      protocol round trips for networked filesystems);
+    * ``bandwidth_efficiency`` — multiplicative cap on streaming throughput
+      (copy-up layers and protocol framing cost bandwidth);
+    * ``networked`` — whether requests cross a guest/host protocol channel
+      (9p, virtio-fs): these cannot honour ``O_DIRECT`` end to end, the
+      root cause of the gVisor caching anomaly in Figure 10.
+    """
+
+    name: str
+    per_op_overhead_s: float
+    bandwidth_efficiency: float
+    networked: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ConfigurationError(f"{self.name}: efficiency must be in (0, 1]")
+        if self.per_op_overhead_s < 0:
+            raise ConfigurationError(f"{self.name}: negative per-op overhead")
+
+
+FILESYSTEMS: dict[str, Filesystem] = {
+    # Raw block device: the fio baseline measures the block level directly.
+    "raw": Filesystem("raw", per_op_overhead_s=0.0, bandwidth_efficiency=1.0),
+    "ext4": Filesystem("ext4", per_op_overhead_s=us(2.0), bandwidth_efficiency=0.985),
+    # ZFS: feature-complete CoW filesystem; checksumming and ARC management
+    # cost a little per-op latency but stream well.
+    "zfs": Filesystem("zfs", per_op_overhead_s=us(4.5), bandwidth_efficiency=0.96),
+    # overlayfs: near-passthrough for reads on the lower layer.
+    "overlayfs": Filesystem("overlayfs", per_op_overhead_s=us(1.2), bandwidth_efficiency=0.99),
+    "tmpfs": Filesystem("tmpfs", per_op_overhead_s=us(0.4), bandwidth_efficiency=1.0),
+    # 9p: the Plan 9 network filesystem (development ceased 2012). Every
+    # operation is a protocol round trip; small message sizes cap streaming.
+    "9p": Filesystem("9p", per_op_overhead_s=us(95.0), bandwidth_efficiency=0.42, networked=True),
+    # virtio-fs: FUSE over virtio, designed for co-located host/guest; far
+    # cheaper round trips and DAX-mapped data path.
+    "virtiofs": Filesystem(
+        "virtiofs", per_op_overhead_s=us(14.0), bandwidth_efficiency=0.93, networked=True
+    ),
+    # OSv's ZFS-derived root filesystem.
+    "osv_zfs": Filesystem("osv_zfs", per_op_overhead_s=us(5.0), bandwidth_efficiency=0.94),
+}

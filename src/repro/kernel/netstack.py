@@ -1,0 +1,113 @@
+"""TCP/IP network stack models.
+
+Four stacks appear in the paper's network experiments:
+
+* the **host Linux** stack — the native baseline;
+* the **guest Linux** stack — identical code, but running inside a guest
+  and therefore paying virtio/TAP costs *in addition* (charged by the
+  datapath, not the stack);
+* **gVisor's Netstack** — a from-scratch user-space Go stack that, at the
+  paper's snapshot, lacked many throughput-critical RFC implementations
+  (RACK, proper pacing, segmentation-offload integration), making gVisor
+  the extreme network outlier (Findings 12, 19);
+* **OSv's** stack — a lean FreeBSD-derived stack whose syscall-free fast
+  path lets it slightly *outperform* a general-purpose guest (Section 3.4).
+
+A stack's per-segment CPU cost and its effective segmentation size capture
+the throughput differences; request/response latency adds a per-message
+processing cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+__all__ = [
+    "NetStack",
+    "HostLinuxStack",
+    "GuestLinuxStack",
+    "GvisorNetstack",
+    "OsvStack",
+]
+
+
+@dataclass(frozen=True)
+class NetStack:
+    """Per-stack cost coefficients.
+
+    * ``per_segment_cost_s`` — CPU time per MTU-sized segment;
+    * ``gso_factor`` — how many MTU segments the stack amortizes per
+      traversal thanks to segmentation offload (GSO/GRO); Linux ~ 16-44,
+      Netstack at the time ~ 1-2;
+    * ``per_message_cost_s`` — added to request/response latency;
+    * ``rfc_completeness`` — fraction of throughput-relevant TCP features
+      implemented; scales achievable window utilization.
+    """
+
+    name: str
+    per_segment_cost_s: float
+    gso_factor: float
+    per_message_cost_s: float
+    rfc_completeness: float
+
+    def __post_init__(self) -> None:
+        if self.gso_factor < 1.0:
+            raise ConfigurationError(f"{self.name}: gso_factor must be >= 1")
+        if not 0.0 < self.rfc_completeness <= 1.0:
+            raise ConfigurationError(f"{self.name}: rfc_completeness in (0, 1]")
+
+    def effective_per_segment_cost(self) -> float:
+        """Per-MTU-segment CPU cost after offload amortization."""
+        return self.per_segment_cost_s / self.gso_factor
+
+    def throughput_efficiency(self) -> float:
+        """Window-utilization factor from TCP feature completeness."""
+        # Missing pacing/loss-recovery features cost goodput superlinearly.
+        return self.rfc_completeness ** 2
+
+
+def HostLinuxStack() -> NetStack:
+    """The mature host Linux TCP/IP stack."""
+    return NetStack(
+        name="linux-host",
+        per_segment_cost_s=us(0.55),
+        gso_factor=32.0,
+        per_message_cost_s=us(4.0),
+        rfc_completeness=1.0,
+    )
+
+
+def GuestLinuxStack() -> NetStack:
+    """The same Linux stack inside a guest (identical coefficients)."""
+    return NetStack(
+        name="linux-guest",
+        per_segment_cost_s=us(0.55),
+        gso_factor=32.0,
+        per_message_cost_s=us(4.0),
+        rfc_completeness=1.0,
+    )
+
+
+def GvisorNetstack() -> NetStack:
+    """gVisor's user-space Netstack at the paper's 2021 snapshot."""
+    return NetStack(
+        name="netstack",
+        per_segment_cost_s=us(2.4),
+        gso_factor=2.0,
+        per_message_cost_s=us(55.0),
+        rfc_completeness=0.62,
+    )
+
+
+def OsvStack() -> NetStack:
+    """OSv's FreeBSD-derived stack; syscall-free fast path."""
+    return NetStack(
+        name="osv",
+        per_segment_cost_s=us(0.48),
+        gso_factor=32.0,
+        per_message_cost_s=us(3.2),
+        rfc_completeness=1.0,
+    )

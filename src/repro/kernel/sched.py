@@ -1,0 +1,86 @@
+"""Thread-scheduler models.
+
+Finding 1 and Finding 21 both trace performance cliffs to thread
+scheduling: ffmpeg's 16-way encode collapses on OSv's custom scheduler, and
+MySQL throughput-vs-threads curves separate platforms by scheduler
+maturity. The model expresses a scheduler as an *efficiency curve*:
+given ``threads`` runnable threads on ``cores`` cores, what fraction of
+ideal aggregate throughput is achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ThreadScheduler", "CfsScheduler", "CustomScheduler"]
+
+
+@dataclass(frozen=True)
+class ThreadScheduler:
+    """Base scheduler efficiency model.
+
+    * ``work_conserving_efficiency`` — fraction of ideal throughput when
+      threads <= cores (migration/balancing losses);
+    * ``oversubscription_penalty`` — additional loss per unit of
+      threads/cores beyond 1 (context switching, run-queue contention);
+    * ``contention_exponent`` — how sharply efficiency falls once
+      oversubscribed (mature schedulers degrade gracefully).
+    """
+
+    name: str
+    work_conserving_efficiency: float = 0.99
+    oversubscription_penalty: float = 0.06
+    contention_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.work_conserving_efficiency <= 1.0:
+            raise ConfigurationError(f"{self.name}: efficiency must be in (0, 1]")
+        if self.oversubscription_penalty < 0:
+            raise ConfigurationError(f"{self.name}: negative penalty")
+
+    def efficiency(self, threads: int, cores: int) -> float:
+        """Fraction of ideal aggregate throughput achieved."""
+        if threads < 1 or cores < 1:
+            raise ConfigurationError("threads and cores must be >= 1")
+        base = self.work_conserving_efficiency
+        if threads <= cores:
+            return base
+        overload = (threads / cores - 1.0) ** self.contention_exponent
+        return max(0.05, base / (1.0 + self.oversubscription_penalty * overload))
+
+    def parallel_speedup(self, threads: int, cores: int) -> float:
+        """Effective parallel speedup over one thread."""
+        usable = min(threads, cores)
+        return usable * self.efficiency(threads, cores)
+
+
+def CfsScheduler() -> ThreadScheduler:
+    """The host/guest Linux CFS scheduler: mature and work-conserving."""
+    return ThreadScheduler(
+        name="cfs",
+        work_conserving_efficiency=0.99,
+        oversubscription_penalty=0.06,
+        contention_exponent=1.0,
+    )
+
+
+def CustomScheduler(
+    name: str,
+    *,
+    work_conserving_efficiency: float,
+    oversubscription_penalty: float,
+    contention_exponent: float = 1.4,
+) -> ThreadScheduler:
+    """An immature custom scheduler (OSv, gVisor's Go-runtime-mediated one).
+
+    These lose throughput even below saturation (poor wake-up placement,
+    no NUMA awareness) and degrade sharply when oversubscribed.
+    """
+    return ThreadScheduler(
+        name=name,
+        work_conserving_efficiency=work_conserving_efficiency,
+        oversubscription_penalty=oversubscription_penalty,
+        contention_exponent=contention_exponent,
+    )

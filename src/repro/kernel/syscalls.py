@@ -1,0 +1,144 @@
+"""System-call table and dispatch-cost model.
+
+Syscalls are grouped into categories because every isolation platform in
+the paper treats categories differently: gVisor's Sentry re-implements most
+of them but must forward I/O to the Gofer; OSv turns them into plain
+function calls (no mode switch at all); hypervisors never see guest
+syscalls (the guest kernel handles them) but pay VM exits for device I/O.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import ns
+
+__all__ = ["SyscallCategory", "Syscall", "SyscallTable", "MODE_SWITCH_COST"]
+
+#: Cost of one user->kernel->user mode switch on the testbed (syscall +
+#: sysret + pipeline effects), without the work of the call itself.
+MODE_SWITCH_COST = ns(60.0)
+
+
+class SyscallCategory(enum.Enum):
+    """Coarse syscall classes used by the platform cost models."""
+
+    PROCESS = "process"       # fork, execve, clone, wait4, exit_group
+    MEMORY = "memory"         # mmap, munmap, brk, mprotect, madvise
+    FILE_IO = "file_io"       # read, write, openat, fsync, fallocate
+    NETWORK = "network"       # socket, sendmsg, recvmsg, epoll_wait
+    SYNC = "sync"             # futex, nanosleep
+    SIGNAL = "signal"         # rt_sigaction, rt_sigreturn, kill
+    TIME = "time"             # clock_gettime, gettimeofday
+    INFO = "info"             # getpid, uname, getrandom
+    VIRT = "virt"             # ioctl on /dev/kvm
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """One syscall: name, category, and typical in-kernel service time."""
+
+    name: str
+    category: SyscallCategory
+    service_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.service_time_s < 0:
+            raise ConfigurationError(f"{self.name}: negative service time")
+
+    @property
+    def total_cost_s(self) -> float:
+        """Mode switch plus in-kernel work."""
+        return MODE_SWITCH_COST + self.service_time_s
+
+
+def _default_syscalls() -> list[Syscall]:
+    c = SyscallCategory
+    return [
+        # process
+        Syscall("clone", c.PROCESS, ns(24_000)),
+        Syscall("fork", c.PROCESS, ns(45_000)),
+        Syscall("execve", c.PROCESS, ns(180_000)),
+        Syscall("wait4", c.PROCESS, ns(600)),
+        Syscall("exit_group", c.PROCESS, ns(8_000)),
+        # memory
+        Syscall("mmap", c.MEMORY, ns(900)),
+        Syscall("munmap", c.MEMORY, ns(1_100)),
+        Syscall("brk", c.MEMORY, ns(350)),
+        Syscall("mprotect", c.MEMORY, ns(700)),
+        Syscall("madvise", c.MEMORY, ns(500)),
+        # file I/O
+        Syscall("openat", c.FILE_IO, ns(1_300)),
+        Syscall("close", c.FILE_IO, ns(300)),
+        Syscall("read", c.FILE_IO, ns(450)),
+        Syscall("write", c.FILE_IO, ns(500)),
+        Syscall("pread64", c.FILE_IO, ns(480)),
+        Syscall("pwrite64", c.FILE_IO, ns(520)),
+        Syscall("fsync", c.FILE_IO, ns(55_000)),
+        Syscall("fallocate", c.FILE_IO, ns(9_000)),
+        Syscall("io_submit", c.FILE_IO, ns(800)),
+        Syscall("io_getevents", c.FILE_IO, ns(600)),
+        # network
+        Syscall("socket", c.NETWORK, ns(2_200)),
+        Syscall("bind", c.NETWORK, ns(900)),
+        Syscall("connect", c.NETWORK, ns(12_000)),
+        Syscall("accept4", c.NETWORK, ns(4_500)),
+        Syscall("sendmsg", c.NETWORK, ns(1_900)),
+        Syscall("recvmsg", c.NETWORK, ns(1_700)),
+        Syscall("sendto", c.NETWORK, ns(1_800)),
+        Syscall("recvfrom", c.NETWORK, ns(1_600)),
+        Syscall("epoll_wait", c.NETWORK, ns(450)),
+        Syscall("epoll_ctl", c.NETWORK, ns(350)),
+        # sync
+        Syscall("futex", c.SYNC, ns(1_400)),
+        Syscall("nanosleep", c.SYNC, ns(58_000)),
+        # signal
+        Syscall("rt_sigaction", c.SIGNAL, ns(250)),
+        Syscall("rt_sigreturn", c.SIGNAL, ns(650)),
+        Syscall("kill", c.SIGNAL, ns(1_900)),
+        # time
+        Syscall("clock_gettime", c.TIME, ns(25)),  # vDSO fast path
+        Syscall("gettimeofday", c.TIME, ns(28)),
+        # info
+        Syscall("getpid", c.INFO, ns(90)),
+        Syscall("uname", c.INFO, ns(220)),
+        Syscall("getrandom", c.INFO, ns(700)),
+        # virtualization
+        Syscall("ioctl_kvm_run", c.VIRT, ns(1_100)),
+        Syscall("ioctl_kvm_create_vm", c.VIRT, ns(250_000)),
+        Syscall("ioctl_kvm_create_vcpu", c.VIRT, ns(120_000)),
+        Syscall("ioctl_kvm_set_user_memory_region", c.VIRT, ns(30_000)),
+    ]
+
+
+class SyscallTable:
+    """Lookup table of all modelled syscalls."""
+
+    def __init__(self, syscalls: list[Syscall] | None = None) -> None:
+        entries = syscalls if syscalls is not None else _default_syscalls()
+        self._by_name = {syscall.name: syscall for syscall in entries}
+        if len(self._by_name) != len(entries):
+            raise ConfigurationError("duplicate syscall names in table")
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Syscall:
+        """Look up a syscall by name (raises on unknown names)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown syscall: {name!r}") from None
+
+    def by_category(self, category: SyscallCategory) -> list[Syscall]:
+        """All syscalls in one category, in table order."""
+        return [s for s in self._by_name.values() if s.category is category]
+
+    def names(self) -> list[str]:
+        """All syscall names in table order."""
+        return list(self._by_name)

@@ -1,0 +1,73 @@
+"""VFS layer: mount table and per-mount dispatch.
+
+A thin model — its job is to let platforms assemble storage stacks
+("ext4 on virtio-blk on host raw NVMe", "bind mount of host overlayfs")
+and to charge the VFS dispatch cost that every file operation pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.kernel.filesystems import FILESYSTEMS, Filesystem
+from repro.units import ns
+
+__all__ = ["Mount", "Vfs"]
+
+#: Path lookup + file-table indirection per VFS operation.
+VFS_DISPATCH_COST = ns(300.0)
+
+
+@dataclass(frozen=True)
+class Mount:
+    """One mounted filesystem."""
+
+    mountpoint: str
+    filesystem: Filesystem
+
+    def __post_init__(self) -> None:
+        if not self.mountpoint.startswith("/"):
+            raise ConfigurationError(f"mountpoint must be absolute: {self.mountpoint!r}")
+
+
+class Vfs:
+    """A mount table with longest-prefix-match resolution."""
+
+    def __init__(self) -> None:
+        self._mounts: dict[str, Mount] = {}
+
+    def mount(self, mountpoint: str, filesystem_name: str) -> Mount:
+        """Mount a named filesystem type at ``mountpoint``."""
+        if filesystem_name not in FILESYSTEMS:
+            raise ConfigurationError(f"unknown filesystem: {filesystem_name!r}")
+        mount = Mount(mountpoint, FILESYSTEMS[filesystem_name])
+        self._mounts[mount.mountpoint] = mount
+        return mount
+
+    def umount(self, mountpoint: str) -> None:
+        """Remove a mount."""
+        if mountpoint not in self._mounts:
+            raise ConfigurationError(f"nothing mounted at {mountpoint!r}")
+        del self._mounts[mountpoint]
+
+    def mounts(self) -> list[Mount]:
+        """All mounts, sorted by mountpoint."""
+        return [self._mounts[key] for key in sorted(self._mounts)]
+
+    def resolve(self, path: str) -> Mount:
+        """The mount serving ``path`` (longest matching prefix)."""
+        if not path.startswith("/"):
+            raise ConfigurationError(f"path must be absolute: {path!r}")
+        best: Mount | None = None
+        for mountpoint, mount in self._mounts.items():
+            if path == mountpoint or path.startswith(mountpoint.rstrip("/") + "/") or mountpoint == "/":
+                if best is None or len(mountpoint) > len(best.mountpoint):
+                    best = mount
+        if best is None:
+            raise ConfigurationError(f"no mount covers {path!r}")
+        return best
+
+    def operation_overhead(self, path: str) -> float:
+        """VFS dispatch plus the per-op cost of the filesystem under ``path``."""
+        return VFS_DISPATCH_COST + self.resolve(path).filesystem.per_op_overhead_s

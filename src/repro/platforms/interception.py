@@ -1,0 +1,91 @@
+"""gVisor's syscall-interception platforms (Section 2.3.2).
+
+gVisor stops guest syscalls from reaching the host through a *platform*:
+
+* **ptrace** — the Sentry attaches with ``PTRACE_SYSEMU``: every guest
+  syscall raises a trap that the host kernel converts into a signal
+  delivery to the Sentry's tracer thread, which emulates the call and
+  resumes the tracee. Two full context switches per syscall make this
+  "relatively high context-switch penalty" path expensive.
+* **KVM** — the guest runs as a KVM VM; a syscall traps to the Sentry
+  via a lightweight VM exit, and address-space switches use hardware
+  support instead of ``mmap`` tricks.
+
+The model prices both pipelines from their primitive steps so the
+platform factor gVisor applies to syscall-heavy workloads is *derived*,
+not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.kernel.kvm import ExitReason, KvmModule
+from repro.kernel.syscalls import MODE_SWITCH_COST, Syscall
+from repro.units import us
+
+__all__ = ["InterceptionPlatform", "PtracePlatform", "KvmPlatform"]
+
+
+@dataclass(frozen=True)
+class InterceptionPlatform:
+    """One gVisor platform: the per-syscall interception pipeline."""
+
+    name: str
+    #: Host-kernel work to stop the guest and notify the Sentry.
+    trap_cost_s: float
+    #: Context/world switches per intercepted syscall (round trip).
+    switch_count: int
+    #: Cost of one switch on this pipeline.
+    switch_cost_s: float
+    #: Sentry-side emulation bookkeeping (task state, rseq, etc.).
+    sentry_dispatch_s: float
+
+    def __post_init__(self) -> None:
+        if self.switch_count < 0:
+            raise ConfigurationError("switch count must be non-negative")
+
+    def interception_cost(self) -> float:
+        """Added cost per guest syscall versus a native syscall."""
+        return (
+            self.trap_cost_s
+            + self.switch_count * self.switch_cost_s
+            + self.sentry_dispatch_s
+        )
+
+    def effective_syscall_cost(self, syscall: Syscall) -> float:
+        """Total cost of one guest syscall handled by the Sentry.
+
+        The Sentry *emulates* the call, so the host in-kernel service time
+        is replaced by Sentry work of comparable size for the common calls
+        the model cares about; the dominant difference is interception.
+        """
+        return syscall.total_cost_s + self.interception_cost()
+
+    def overhead_factor(self, syscall: Syscall) -> float:
+        """Slowdown versus executing the same syscall natively."""
+        return self.effective_syscall_cost(syscall) / syscall.total_cost_s
+
+
+def PtracePlatform() -> InterceptionPlatform:
+    """PTRACE_SYSEMU interception: signal delivery + scheduler round trips."""
+    return InterceptionPlatform(
+        name="ptrace",
+        trap_cost_s=us(1.6),       # SIGTRAP generation + tracer wakeup
+        switch_count=4,            # tracee->kernel->tracer and back again
+        switch_cost_s=us(1.2),     # full context switch via the scheduler
+        sentry_dispatch_s=us(0.7),
+    )
+
+
+def KvmPlatform() -> InterceptionPlatform:
+    """KVM interception: a lightweight VM exit into the Sentry."""
+    exit_cost = KvmModule.exit_cost(ExitReason.IO, to_userspace=False)
+    return InterceptionPlatform(
+        name="kvm",
+        trap_cost_s=exit_cost,
+        switch_count=2,            # world switch out and back
+        switch_cost_s=MODE_SWITCH_COST,
+        sentry_dispatch_s=us(0.7),
+    )

@@ -1,0 +1,125 @@
+"""Deterministic random-number streams.
+
+Reproducibility is a first-class requirement: the paper's figures come with
+error bars and CDFs over hundreds of repetitions, and our reproduction must
+regenerate them bit-identically for a given seed while keeping the variance
+realistic.
+
+The design follows the standard "seed tree" pattern: a root
+:class:`RngStream` is created from the experiment seed, and every component
+derives an *independent* child stream from a stable string path such as
+``"fig13/docker/run-42"``. Children are derived by hashing, so adding a new
+consumer never perturbs the draws seen by existing consumers — figures stay
+stable as the library grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RngStream", "derive_seed"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(seed: int, path: str) -> int:
+    """Derive a stable 64-bit child seed from ``seed`` and a string path."""
+    digest = hashlib.blake2b(
+        path.encode("utf-8"), digest_size=8, key=int(seed & _MASK64).to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngStream:
+    """A named, hierarchical deterministic random stream.
+
+    Wraps :class:`numpy.random.Generator` and adds:
+
+    * ``child(name)`` — derive an independent stream for a sub-component;
+    * convenience distributions used by the performance models
+      (log-normal service times, bounded Gaussian noise).
+    """
+
+    def __init__(self, seed: int, path: str = "root") -> None:
+        self.seed = int(seed) & _MASK64
+        self.path = path
+        self._generator = np.random.Generator(np.random.PCG64(self.seed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStream(path={self.path!r}, seed={self.seed:#x})"
+
+    # --- stream derivation -------------------------------------------------
+
+    def child(self, name: str) -> "RngStream":
+        """Return an independent child stream identified by ``name``."""
+        child_path = f"{self.path}/{name}"
+        return RngStream(derive_seed(self.seed, child_path), child_path)
+
+    def children(self, names: Iterable[str]) -> list["RngStream"]:
+        """Derive one child stream per name, in order."""
+        return [self.child(name) for name in names]
+
+    # --- raw draws ----------------------------------------------------------
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator (for bulk vectorized draws)."""
+        return self._generator
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw in ``[low, high)``."""
+        return float(self._generator.uniform(low, high))
+
+    def integers(self, low: int, high: int) -> int:
+        """One integer draw in ``[low, high)``."""
+        return int(self._generator.integers(low, high))
+
+    def exponential(self, mean: float) -> float:
+        """One exponential draw with the given mean."""
+        return float(self._generator.exponential(mean))
+
+    def choice(self, options: list, probabilities: list[float] | None = None):
+        """Pick one element, optionally with explicit probabilities."""
+        index = self._generator.choice(len(options), p=probabilities)
+        return options[int(index)]
+
+    # --- modelling distributions --------------------------------------------
+
+    def gaussian_factor(self, relative_std: float, *, clip: float = 4.0) -> float:
+        """A multiplicative noise factor ``~ N(1, relative_std)``.
+
+        The draw is clipped to ``1 +/- clip * relative_std`` and floored at a
+        small positive value so downstream durations stay physical.
+        """
+        if relative_std <= 0.0:
+            return 1.0
+        draw = self._generator.normal(1.0, relative_std)
+        lower = max(1e-3, 1.0 - clip * relative_std)
+        upper = 1.0 + clip * relative_std
+        return float(min(max(draw, lower), upper))
+
+    def lognormal_factor(self, sigma: float) -> float:
+        """A multiplicative factor from a mean-1 log-normal distribution.
+
+        Log-normal multiplicative noise is the standard model for service
+        times in systems measurement: strictly positive and right-skewed
+        (occasional slow runs), matching the long upper tails visible in the
+        paper's startup-time CDFs.
+        """
+        if sigma <= 0.0:
+            return 1.0
+        mu = -0.5 * sigma * sigma  # mean of exp(N(mu, sigma)) == 1
+        return float(self._generator.lognormal(mu, sigma))
+
+    def pareto_tail(self, probability: float, scale: float, alpha: float = 2.5) -> float:
+        """Occasionally return a heavy-tail additive delay, else 0.
+
+        Models rare hiccups (host scheduling, cache-drop interference) that
+        produce the outlier dots in the paper's figures.
+        """
+        if probability <= 0.0 or self.uniform() >= probability:
+            return 0.0
+        return float(scale * (1.0 + self._generator.pareto(alpha)))

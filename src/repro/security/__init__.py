@@ -1,0 +1,23 @@
+"""Security and isolation measurement (Section 4).
+
+* :mod:`repro.security.epss`     — exploit-likelihood scores per kernel function
+* :mod:`repro.security.profiles` — per-platform host-interaction breadth tables
+* :mod:`repro.security.hap`      — the (extended) Horizontal Attack Profile
+* :mod:`repro.security.analysis` — defense-in-depth audit (Finding 28)
+"""
+
+from repro.security.epss import EpssModel
+from repro.security.hap import HapScore, measure_hap
+from repro.security.profiles import HAP_BREADTH, WORKLOAD_AFFINITY, trace_platform
+from repro.security.analysis import DefenseInDepthAudit, audit_platform
+
+__all__ = [
+    "EpssModel",
+    "HapScore",
+    "measure_hap",
+    "HAP_BREADTH",
+    "WORKLOAD_AFFINITY",
+    "trace_platform",
+    "DefenseInDepthAudit",
+    "audit_platform",
+]

@@ -1,0 +1,179 @@
+"""Per-platform host-interaction breadth tables.
+
+Section 4 traces, per platform, which host-kernel functions run while
+executing five workloads (Sysbench CPU / memory / fileio, iperf3, and a
+start-idle-shutdown cycle). Each platform's architecture determines which
+host subsystems its guests exercise and how deeply:
+
+* containers call straight into the host kernel — broad VFS/net/sched
+  coverage, plus the namespace/cgroup machinery;
+* hypervisors funnel everything through KVM plus their backend syscalls —
+  the guest's filesystem/TCP stacks run *inside* the guest, thinning the
+  host's VFS/TCP coverage while KVM's breadth explodes. Firecracker's
+  userspace-bounced virtqueue kicks and synchronous backends make it the
+  *widest* interface of all (Finding 24), while work-in-progress Cloud
+  Hypervisor exercises remarkably little (Finding 25);
+* secure containers pay both sides: gVisor's Sentry is a heavy direct
+  consumer of host mm/futex/epoll (Finding 26), Kata stacks the container
+  plumbing on top of a full hypervisor profile;
+* OSv's single-purpose image drives the narrowest interface (Finding 27).
+
+Breadths are fractions of each subsystem's rank-ordered function list
+(see :class:`repro.kernel.functions.KernelFunctionCatalog`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernel.ftrace import Ftrace, FtraceReport
+from repro.kernel.functions import KernelFunctionCatalog, Subsystem
+from repro.platforms.base import Platform
+
+__all__ = ["HAP_BREADTH", "WORKLOAD_AFFINITY", "HAP_WORKLOADS", "trace_platform"]
+
+S = Subsystem
+
+#: The five traced workloads (Section 4).
+HAP_WORKLOADS = ("sysbench-cpu", "sysbench-memory", "sysbench-fileio", "iperf3", "boot-shutdown")
+
+#: Maximum breadth per subsystem, per platform profile name.
+HAP_BREADTH: dict[str, dict[Subsystem, float]] = {
+    "native": {
+        S.SCHED: 0.30, S.MM: 0.32, S.VFS: 0.28, S.EXT4: 0.25, S.BLOCK: 0.28,
+        S.NET_CORE: 0.30, S.TCP_IP: 0.32, S.IRQ: 0.35, S.TIME: 0.35,
+        S.SIGNAL: 0.25, S.FUTEX: 0.45, S.EPOLL: 0.35, S.PIPE_TTY: 0.18,
+        S.SECURITY: 0.20,
+    },
+    "docker": {
+        S.SCHED: 0.30, S.MM: 0.32, S.VFS: 0.30, S.EXT4: 0.25, S.BLOCK: 0.28,
+        S.NET_CORE: 0.32, S.TCP_IP: 0.32, S.IRQ: 0.35, S.TIME: 0.35,
+        S.SIGNAL: 0.25, S.FUTEX: 0.45, S.EPOLL: 0.35, S.PIPE_TTY: 0.20,
+        S.SECURITY: 0.30, S.NAMESPACE: 0.45, S.CGROUP: 0.45, S.BRIDGE: 0.50,
+        S.NETFILTER: 0.30, S.SECCOMP: 0.60,
+    },
+    "lxc": {
+        S.SCHED: 0.30, S.MM: 0.32, S.VFS: 0.30, S.EXT4: 0.25, S.BLOCK: 0.28,
+        S.NET_CORE: 0.32, S.TCP_IP: 0.32, S.IRQ: 0.35, S.TIME: 0.35,
+        S.SIGNAL: 0.25, S.FUTEX: 0.45, S.EPOLL: 0.35, S.PIPE_TTY: 0.20,
+        S.SECURITY: 0.28, S.NAMESPACE: 0.48, S.CGROUP: 0.50, S.BRIDGE: 0.50,
+        S.SECCOMP: 0.30,
+    },
+    "qemu": {
+        S.SCHED: 0.32, S.MM: 0.34, S.VFS: 0.22, S.EXT4: 0.22, S.BLOCK: 0.25,
+        S.NET_CORE: 0.28, S.TCP_IP: 0.18, S.BRIDGE: 0.45, S.NETFILTER: 0.15,
+        S.KVM: 0.75, S.IRQ: 0.50, S.TIME: 0.50, S.SIGNAL: 0.30, S.FUTEX: 0.50,
+        S.EPOLL: 0.45, S.PIPE_TTY: 0.25, S.SECURITY: 0.15, S.KSM: 0.50,
+    },
+    "firecracker": {
+        S.SCHED: 0.45, S.MM: 0.45, S.VFS: 0.28, S.EXT4: 0.28, S.BLOCK: 0.32,
+        S.NET_CORE: 0.35, S.TCP_IP: 0.22, S.BRIDGE: 0.45, S.NETFILTER: 0.15,
+        S.KVM: 0.85, S.IRQ: 0.60, S.TIME: 0.60, S.SIGNAL: 0.45, S.FUTEX: 0.65,
+        S.EPOLL: 0.60, S.PIPE_TTY: 0.30, S.SECURITY: 0.25, S.SECCOMP: 0.70,
+    },
+    "cloud-hypervisor": {
+        S.SCHED: 0.15, S.MM: 0.22, S.VFS: 0.10, S.EXT4: 0.08, S.BLOCK: 0.12,
+        S.NET_CORE: 0.12, S.TCP_IP: 0.05, S.BRIDGE: 0.30, S.KVM: 0.55,
+        S.IRQ: 0.25, S.TIME: 0.30, S.SIGNAL: 0.15, S.FUTEX: 0.35,
+        S.EPOLL: 0.30, S.PIPE_TTY: 0.10, S.SECURITY: 0.10, S.SECCOMP: 0.50,
+    },
+    "kata": {
+        S.SCHED: 0.34, S.MM: 0.36, S.VFS: 0.24, S.EXT4: 0.24, S.BLOCK: 0.26,
+        S.NET_CORE: 0.30, S.TCP_IP: 0.20, S.BRIDGE: 0.50, S.NETFILTER: 0.30,
+        S.KVM: 0.72, S.IRQ: 0.52, S.TIME: 0.52, S.SIGNAL: 0.32, S.FUTEX: 0.52,
+        S.EPOLL: 0.48, S.PIPE_TTY: 0.27, S.SECURITY: 0.25, S.NAMESPACE: 0.45,
+        S.CGROUP: 0.50, S.SECCOMP: 0.50, S.VSOCK: 0.75,
+    },
+    "gvisor": {
+        S.SCHED: 0.40, S.MM: 0.50, S.VFS: 0.25, S.EXT4: 0.25, S.BLOCK: 0.20,
+        S.NET_CORE: 0.30, S.TCP_IP: 0.10, S.BRIDGE: 0.50, S.NETFILTER: 0.30,
+        S.KVM: 0.45, S.IRQ: 0.40, S.TIME: 0.55, S.SIGNAL: 0.55, S.FUTEX: 0.80,
+        S.EPOLL: 0.55, S.PIPE_TTY: 0.50, S.SECURITY: 0.30, S.NAMESPACE: 0.45,
+        S.CGROUP: 0.45, S.SECCOMP: 0.95,
+    },
+    "osv": {
+        S.SCHED: 0.10, S.MM: 0.15, S.VFS: 0.06, S.EXT4: 0.05, S.BLOCK: 0.08,
+        S.NET_CORE: 0.10, S.BRIDGE: 0.30, S.KVM: 0.50, S.IRQ: 0.20,
+        S.TIME: 0.25, S.SIGNAL: 0.10, S.FUTEX: 0.25, S.EPOLL: 0.25,
+        S.PIPE_TTY: 0.08,
+    },
+}
+
+#: How strongly each workload exercises each subsystem, as a fraction of
+#: the platform's maximum breadth. Every subsystem reaches 1.0 in at least
+#: one workload, so the union over all workloads equals HAP_BREADTH.
+_DEFAULT_AFFINITY = 0.15
+WORKLOAD_AFFINITY: dict[str, dict[Subsystem, float]] = {
+    # vsock is control-plane only: the kata-agent channel is idle while a
+    # pure compute/memory/file workload runs, so those workloads pin its
+    # affinity to zero explicitly.
+    "sysbench-cpu": {
+        S.SCHED: 1.0, S.TIME: 0.6, S.IRQ: 0.5, S.SIGNAL: 0.3, S.MM: 0.3,
+        S.FUTEX: 0.4, S.KVM: 0.6, S.VSOCK: 0.0,
+    },
+    "sysbench-memory": {
+        S.MM: 1.0, S.SCHED: 0.5, S.KVM: 0.9, S.TIME: 0.4, S.IRQ: 0.4,
+        S.KSM: 1.0, S.VSOCK: 0.0,
+    },
+    "sysbench-fileio": {
+        S.VFS: 1.0, S.EXT4: 1.0, S.BLOCK: 1.0, S.MM: 0.5, S.SCHED: 0.5,
+        S.KVM: 0.8, S.EPOLL: 0.6, S.FUSE: 1.0, S.NINEP: 1.0, S.SECURITY: 0.6,
+        S.VSOCK: 0.0,
+    },
+    "iperf3": {
+        S.NET_CORE: 1.0, S.TCP_IP: 1.0, S.BRIDGE: 1.0, S.NETFILTER: 1.0,
+        S.EPOLL: 1.0, S.SCHED: 0.6, S.KVM: 0.9, S.VSOCK: 0.5, S.IRQ: 1.0,
+    },
+    "boot-shutdown": {
+        S.NAMESPACE: 1.0, S.CGROUP: 1.0, S.SECCOMP: 1.0, S.VSOCK: 1.0,
+        S.PIPE_TTY: 1.0, S.SECURITY: 1.0, S.SIGNAL: 1.0, S.FUTEX: 1.0,
+        S.TIME: 1.0, S.KVM: 1.0, S.MM: 0.7, S.VFS: 0.6, S.SCHED: 0.7,
+    },
+}
+
+#: Relative invocation volume per workload (hit-count scaling only).
+_WORKLOAD_INTENSITY = {
+    "sysbench-cpu": 40.0,
+    "sysbench-memory": 120.0,
+    "sysbench-fileio": 300.0,
+    "iperf3": 500.0,
+    "boot-shutdown": 15.0,
+}
+
+
+def profile_for(platform: Platform) -> dict[Subsystem, float]:
+    """The breadth table for a platform (via its profile name)."""
+    name = platform.hap_profile_name()
+    try:
+        return HAP_BREADTH[name]
+    except KeyError:
+        raise ConfigurationError(f"no HAP profile for platform {name!r}") from None
+
+
+def trace_platform(
+    platform: Platform,
+    catalog: KernelFunctionCatalog,
+    workloads: tuple[str, ...] = HAP_WORKLOADS,
+) -> FtraceReport:
+    """Run the Section 4 tracing campaign against one platform.
+
+    Each workload opens an ftrace session and records breadth-scaled hits;
+    the per-workload reports are unioned, as in the paper.
+    """
+    breadth_table = profile_for(platform)
+    merged: FtraceReport | None = None
+    for workload in workloads:
+        if workload not in WORKLOAD_AFFINITY:
+            raise ConfigurationError(f"unknown HAP workload: {workload!r}")
+        affinity = WORKLOAD_AFFINITY[workload]
+        intensity = _WORKLOAD_INTENSITY[workload]
+        tracer = Ftrace(catalog)
+        tracer.start()
+        for subsystem, max_breadth in breadth_table.items():
+            factor = affinity.get(subsystem, _DEFAULT_AFFINITY)
+            breadth = max_breadth * factor
+            if breadth > 0.0:
+                tracer.record_breadth(subsystem, breadth, invocations_per_function=intensity)
+        report = tracer.stop()
+        merged = report if merged is None else merged.merge(report)
+    assert merged is not None
+    return merged

@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine drives every timed behaviour in the reproduction: guest boot
+sequences, QEMU's event loop, virtqueue kicks, request/response protocols
+(ttRPC, 9p), and the closed-loop clients of the macro-benchmarks.
+
+The programming model is the classic generator-coroutine DES (as popularized
+by SimPy): a *process* is a generator that yields commands —
+:class:`~repro.simcore.engine.Timeout`, :class:`~repro.simcore.engine.Wait`,
+or another process — and the :class:`~repro.simcore.engine.Simulator`
+advances a virtual clock between events. There is no wall-clock dependency
+anywhere, so runs are exactly reproducible.
+"""
+
+from repro.simcore.engine import Simulator, Timeout, Wait, Process
+from repro.simcore.event import Event, EventQueue
+from repro.simcore.resources import Resource, Store, TokenBucket
+from repro.simcore.tracing import SimTrace, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Timeout",
+    "Wait",
+    "Process",
+    "Event",
+    "EventQueue",
+    "Resource",
+    "Store",
+    "TokenBucket",
+    "SimTrace",
+    "TraceRecord",
+]

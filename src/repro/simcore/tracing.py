@@ -1,0 +1,59 @@
+"""Lightweight structured trace log for simulations.
+
+Components append :class:`TraceRecord` entries (timestamp, source, event
+name, payload). Tests and the ftrace model consume them; production runs
+can disable collection entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "SimTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event emitted by a simulated component."""
+
+    time: float
+    source: str
+    event: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class SimTrace:
+    """An append-only trace with cheap filtering helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def emit(self, time: float, source: str, event: str, **detail: Any) -> None:
+        """Record one event (no-op when collection is disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, source, event, detail))
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+    def filter(self, *, source: str | None = None, event: str | None = None) -> list[TraceRecord]:
+        """Records matching the given source and/or event name."""
+        return [
+            record
+            for record in self._records
+            if (source is None or record.source == source)
+            and (event is None or record.event == event)
+        ]
+
+    def count(self, *, source: str | None = None, event: str | None = None) -> int:
+        """Number of records matching the filter."""
+        return len(self.filter(source=source, event=event))

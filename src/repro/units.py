@@ -1,0 +1,128 @@
+"""Unit helpers and conversions used throughout the library.
+
+The simulation keeps a single canonical unit per dimension to avoid the
+classic source of bugs in performance models:
+
+* time        — **seconds** (floats)
+* data size   — **bytes** (ints where possible)
+* bandwidth   — **bytes per second**
+* frequency   — **hertz**
+
+This module provides named constants and conversion helpers so call sites
+read like the quantities in the paper (``128 * KIB``, ``gbit_per_s(37.28)``).
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+PAGE_SIZE = 4 * KIB
+HUGE_PAGE_SIZE = 2 * MIB
+
+# --- time -----------------------------------------------------------------
+
+USEC = 1e-6
+MSEC = 1e-3
+NSEC = 1e-9
+MINUTE = 60.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def seconds_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * 1e9
+
+
+def ms(value: float) -> float:
+    """Express a duration given in milliseconds in canonical seconds."""
+    return value * MSEC
+
+
+def us(value: float) -> float:
+    """Express a duration given in microseconds in canonical seconds."""
+    return value * USEC
+
+
+def ns(value: float) -> float:
+    """Express a duration given in nanoseconds in canonical seconds."""
+    return value * NSEC
+
+
+# --- bandwidth ------------------------------------------------------------
+
+
+def gbit_per_s(value: float) -> float:
+    """Convert gigabits per second to canonical bytes per second."""
+    return value * 1e9 / 8.0
+
+
+def mbit_per_s(value: float) -> float:
+    """Convert megabits per second to canonical bytes per second."""
+    return value * 1e6 / 8.0
+
+
+def to_gbit_per_s(bytes_per_second: float) -> float:
+    """Convert canonical bytes per second to gigabits per second."""
+    return bytes_per_second * 8.0 / 1e9
+
+
+def mib_per_s(value: float) -> float:
+    """Convert MiB/s to canonical bytes per second."""
+    return value * MIB
+
+
+def to_mib_per_s(bytes_per_second: float) -> float:
+    """Convert canonical bytes per second to MiB/s."""
+    return bytes_per_second / MIB
+
+
+def to_mb_per_s(bytes_per_second: float) -> float:
+    """Convert canonical bytes per second to decimal MB/s (fio convention)."""
+    return bytes_per_second / MB
+
+
+# --- frequency ------------------------------------------------------------
+
+GHZ = 1e9
+MHZ = 1e6
+
+
+def pretty_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``2.2 GiB``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def pretty_duration(seconds: float) -> str:
+    """Render a duration with an appropriate sub-second suffix."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MSEC:
+        return f"{seconds / MSEC:.2f} ms"
+    if seconds >= USEC:
+        return f"{seconds / USEC:.2f} us"
+    return f"{seconds / NSEC:.1f} ns"

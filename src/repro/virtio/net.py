@@ -1,0 +1,45 @@
+"""virtio-net: the paravirtualized NIC (paired with a host TAP device).
+
+Per-packet costs live in :class:`repro.kernel.netdev.TapVirtioPath`; this
+module adds the queue-level knobs that differ between VMMs (merged rx
+buffers, multiqueue, vhost-net offload) as a single efficiency factor used
+by the network workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.virtio.queue import Virtqueue
+
+__all__ = ["VirtioNet"]
+
+
+@dataclass(frozen=True)
+class VirtioNet:
+    """Cost model of one virtio-net device."""
+
+    name: str = "virtio-net"
+    rx_queue: Virtqueue = field(default_factory=lambda: Virtqueue("net-rx", batch_size=16.0))
+    tx_queue: Virtqueue = field(default_factory=lambda: Virtqueue("net-tx", batch_size=16.0))
+    #: 1.0 = fully tuned datapath (vhost-net, mergeable buffers); lower
+    #: values model missing offloads in younger device models.
+    datapath_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.datapath_efficiency <= 1.0:
+            raise ConfigurationError(f"{self.name}: efficiency must be in (0, 1]")
+
+    def per_packet_queue_cost(self) -> float:
+        """Ring-crossing cost per packet, both directions averaged."""
+        cost = 0.5 * (
+            self.rx_queue.per_request_cost() + self.tx_queue.per_request_cost()
+        )
+        return cost / self.datapath_efficiency
+
+    def added_round_trip_latency(self) -> float:
+        """Request/response latency added by the two ring crossings."""
+        return (
+            self.rx_queue.round_trip_latency() + self.tx_queue.round_trip_latency()
+        ) / (2.0 * self.datapath_efficiency)

@@ -1,0 +1,73 @@
+"""The 9P filesystem protocol (Plan 9, 1991; kernel client unmaintained
+since 2012).
+
+Two platforms in the study stand or fall with 9P:
+
+* **Kata containers** share the container rootfs from host to guest over
+  9p-on-virtio by default — the root cause of Kata's "exceptionally poor"
+  fio latency (Figure 10, Finding 7);
+* **gVisor** forbids the Sentry all I/O syscalls, so every file operation
+  becomes a 9P RPC to the Gofer process (Finding 8).
+
+9P is a strict request/response protocol: every operation is at least one
+round trip, payloads are chopped into ``msize`` chunks, and the protocol
+offers no readahead or caching hints suited to a co-located host/guest
+pair — the design assumption (a network between client and server) that
+virtio-fs later dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import KIB, us
+
+__all__ = ["NinePChannel"]
+
+
+@dataclass(frozen=True)
+class NinePChannel:
+    """Cost model of one 9P channel.
+
+    ``transport_rtt_s`` is the underlying channel's round trip: a virtqueue
+    crossing for Kata (9p-on-virtio), a unix-socket hop for gVisor's
+    Sentry<->Gofer pair.
+    """
+
+    name: str = "9p"
+    msize_bytes: int = 512 * KIB
+    transport_rtt_s: float = us(9.0)
+    server_processing_s: float = us(30.0)
+    #: Walk/open/clunk amplification: one logical file op averages this many
+    #: protocol RPCs (Twalk, Topen, Tread..., Tclunk).
+    rpc_amplification: float = 3.2
+    per_byte_cost_s: float = 1.0 / (1.9e9)  # ~1.9 GB/s protocol copy ceiling
+
+    def __post_init__(self) -> None:
+        if self.msize_bytes < 4 * KIB:
+            raise ConfigurationError("msize unrealistically small")
+        if self.rpc_amplification < 1.0:
+            raise ConfigurationError("amplification must be >= 1")
+
+    def rpc_round_trip(self) -> float:
+        """Latency of a single 9P RPC."""
+        return self.transport_rtt_s + self.server_processing_s
+
+    def operation_latency(self, payload_bytes: int = 0) -> float:
+        """Latency of one logical file operation carrying ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ConfigurationError("negative payload")
+        chunks = max(1, -(-payload_bytes // self.msize_bytes))  # ceil
+        rpcs = self.rpc_amplification + (chunks - 1)
+        return rpcs * self.rpc_round_trip() + payload_bytes * self.per_byte_cost_s
+
+    def streaming_bandwidth(self) -> float:
+        """Sustained bytes/second for large sequential transfers.
+
+        Each ``msize`` chunk pays a round trip; the protocol copy ceiling
+        caps the rest. This lands 9P at roughly half of native NVMe speed,
+        matching Figure 9's gVisor/Kata results.
+        """
+        per_chunk = self.rpc_round_trip() + self.msize_bytes * self.per_byte_cost_s
+        return self.msize_bytes / per_chunk

@@ -1,0 +1,41 @@
+"""vsock: host/guest sockets.
+
+Kata exposes the kata-agent's ttRPC server to the host runtime through a
+vsock file (Section 2.3.1); every ``docker exec`` and lifecycle command
+crosses it. The channel matters for container startup (agent handshake)
+and for the HAP's vsock subsystem breadth, not for data-plane throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+__all__ = ["VsockChannel"]
+
+
+@dataclass(frozen=True)
+class VsockChannel:
+    """Cost model of a host<->guest vsock connection."""
+
+    name: str = "vsock"
+    connect_cost_s: float = us(180.0)
+    round_trip_s: float = us(38.0)
+    #: ttRPC serialization on top of the raw socket round trip.
+    rpc_overhead_s: float = us(21.0)
+
+    def __post_init__(self) -> None:
+        if min(self.connect_cost_s, self.round_trip_s, self.rpc_overhead_s) < 0:
+            raise ConfigurationError("vsock costs must be non-negative")
+
+    def rpc_latency(self) -> float:
+        """One ttRPC request/response over the channel."""
+        return self.round_trip_s + self.rpc_overhead_s
+
+    def handshake_cost(self, rpc_count: int) -> float:
+        """Connect plus ``rpc_count`` setup RPCs (container creation flow)."""
+        if rpc_count < 0:
+            raise ConfigurationError("negative RPC count")
+        return self.connect_cost_s + rpc_count * self.rpc_latency()

@@ -1,0 +1,116 @@
+"""iperf3 — TCP throughput (Figure 11).
+
+The host acts as the client; the server runs inside the guest. iperf3
+saturates the path, so throughput is the smaller of the wire rate and the
+CPU-limited packet-processing rate along host stack + datapath + guest
+stack. The paper reports the *maximum over 5 runs*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.platforms.base import Platform
+from repro.rng import RngStream
+from repro.simcore.engine import Simulator, Timeout
+from repro.simcore.resources import Store, TokenBucket
+from repro.units import to_gbit_per_s
+from repro.workloads.base import Workload
+
+__all__ = ["IperfWorkload", "IperfResult"]
+
+
+@dataclass(frozen=True)
+class IperfResult:
+    """Goodput of one iperf3 run."""
+
+    platform: str
+    throughput_bytes_per_s: float
+    duration_s: float
+
+    @property
+    def throughput_gbit_per_s(self) -> float:
+        """Figure 11's y-axis."""
+        return to_gbit_per_s(self.throughput_bytes_per_s)
+
+
+class IperfWorkload(Workload):
+    """One iperf3 measurement interval."""
+
+    name = "iperf3"
+
+    def __init__(self, duration_s: float = 10.0) -> None:
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.duration_s = duration_s
+
+    def run(self, platform: Platform, rng: RngStream) -> IperfResult:
+        profile = platform.net_profile()
+        nic = platform.machine.nic
+        throughput = nic.achievable_throughput(profile.per_packet_cost())
+        throughput *= profile.stack.throughput_efficiency()
+        throughput *= rng.gaussian_factor(profile.throughput_std)
+        return IperfResult(
+            platform=platform.name,
+            throughput_bytes_per_s=throughput,
+            duration_s=self.duration_s,
+        )
+
+    def run_simulated(
+        self,
+        platform: Platform,
+        rng: RngStream,
+        *,
+        sim_duration_s: float = 0.01,
+        burst_bytes: int = 64 * 1024,
+    ) -> IperfResult:
+        """Packet-level cross-validation on the discrete-event engine.
+
+        Two pipelined stages — the CPU (stack + datapath per-segment work)
+        producing bursts, and the wire (a token bucket at line rate)
+        draining them — reproduce the analytic ``min(wire, cpu)`` model
+        from first principles. Used by the model-validation tests.
+        """
+        if sim_duration_s <= 0 or burst_bytes <= 0:
+            raise ConfigurationError("simulation parameters must be positive")
+        profile = platform.net_profile()
+        nic = platform.machine.nic
+        per_packet = nic.base_packet_cost_s + profile.per_packet_cost()
+
+        simulator = Simulator()
+        wire = TokenBucket(simulator, nic.line_rate, "wire")
+        queue = Store(simulator, "tx-queue")
+        delivered = {"bytes": 0}
+
+        def sender():
+            jitter = rng.child("cpu-jitter")
+            while simulator.now < sim_duration_s:
+                packets = burst_bytes / nic.mtu_bytes
+                cpu_time = packets * per_packet * jitter.lognormal_factor(0.02)
+                yield Timeout(cpu_time)
+                # Backpressure: keep at most a socket buffer's worth queued.
+                if len(queue) < 8:
+                    queue.put(burst_bytes)
+            queue.put(None)  # sentinel: sender done
+
+        def transmitter():
+            while True:
+                burst = yield from queue.get()
+                if burst is None:
+                    return None
+                yield from wire.transfer(burst)
+                if simulator.now <= sim_duration_s:
+                    delivered["bytes"] += burst
+
+        simulator.spawn(sender(), "iperf-sender")
+        simulator.spawn(transmitter(), "iperf-wire")
+        simulator.run()
+
+        throughput = delivered["bytes"] / sim_duration_s
+        throughput *= profile.stack.throughput_efficiency()
+        return IperfResult(
+            platform=platform.name,
+            throughput_bytes_per_s=throughput,
+            duration_s=sim_duration_s,
+        )

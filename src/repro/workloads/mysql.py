@@ -1,0 +1,164 @@
+"""MySQL under sysbench ``oltp_read_write`` — Figure 17.
+
+Sysbench preloads 1 M records into 3 tables and then runs transactions of
+SELECT/UPDATE/DELETE/INSERT queries at increasing client thread counts
+(10..160). The benchmark stresses memory (buffer pool pointer chasing),
+the filesystem (redo log), and networking (client/server round trips).
+
+The throughput model composes, per platform:
+
+* **per-transaction service time** — CPU/memory work scaled by the square
+  of the memory-latency factor (B-tree descent is dependent pointer
+  chasing), the syscall-interception factor, and per-query network round
+  trips plus redo-log I/O;
+* **capacity** — available vCPUs x scheduler efficiency over the service
+  time, times the platform's OLTP capacity factor (Finding 22);
+* **thread-count shape** — a saturating ramp with lock-contention decay
+  beyond the platform's contention knee. The knee scales with available
+  CPUs: guests (16 vCPUs) peak near 50 threads, native (128 threads, two
+  NUMA domains and a higher per-transaction cost) peaks near 110 without
+  delivering significantly more throughput (Finding 20);
+* platforms with **custom thread runtimes** (OSv, gVisor) follow a flat
+  saturating curve instead — thread count has almost no effect
+  (Finding 21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.platforms.base import Platform
+from repro.rng import RngStream
+from repro.units import ms, us
+from repro.workloads.base import Workload
+
+__all__ = ["MysqlOltpWorkload", "MysqlOltpResult", "DEFAULT_THREAD_SWEEP"]
+
+#: Per-transaction CPU/memory time on one guest core (all queries).
+_BASE_TXN_CPU_S = ms(2.9)
+
+#: Queries per oltp_read_write transaction crossing the network.
+_QUERIES_PER_TXN = 18
+
+#: sysbench client-side work per query (generation, parsing, bookkeeping);
+#: paid in the response time but not on the server's CPUs.
+_CLIENT_PER_QUERY_S = us(200.0)
+
+#: Redo-log writes per transaction (group commit amortized).
+_LOG_WRITES_PER_TXN = 2
+
+#: Native runs span both sockets: NUMA-remote locks inflate per-txn cost.
+_NATIVE_NUMA_FACTOR = 1.9
+
+#: Group-commit/log-serialization ceiling of the database itself.
+_DB_CEILING_TPS = 5_600.0
+
+#: Lock-contention decay strength beyond the knee.
+_LOCK_DECAY = 0.2
+
+#: Figure 17 sweeps 10..160 client threads.
+DEFAULT_THREAD_SWEEP = (10, 20, 30, 40, 50, 70, 90, 110, 130, 160)
+
+
+@dataclass(frozen=True)
+class MysqlOltpResult:
+    """Transactions/second at each thread count."""
+
+    platform: str
+    thread_counts: tuple[int, ...]
+    tps: tuple[float, ...]
+
+    def peak(self) -> tuple[int, float]:
+        """(thread count, tps) at the maximum."""
+        best = max(range(len(self.tps)), key=lambda i: self.tps[i])
+        return self.thread_counts[best], self.tps[best]
+
+
+def _fallback_io_latency(platform: Platform) -> float:
+    """Rootfs write latency for platforms excluded from the fio figures."""
+    try:
+        return platform.io_profile().per_request_latency_s
+    except Exception:  # UnsupportedOperationError: FC / OSv rootfs paths
+        return us(20.0)
+
+
+class MysqlOltpWorkload(Workload):
+    """sysbench oltp_read_write over a thread sweep."""
+
+    name = "mysql-oltp"
+
+    def __init__(self, thread_counts: tuple[int, ...] = DEFAULT_THREAD_SWEEP) -> None:
+        if not thread_counts or min(thread_counts) < 1:
+            raise ConfigurationError("thread counts must be positive")
+        self.thread_counts = tuple(thread_counts)
+
+    # --- model pieces -----------------------------------------------------------
+
+    def _txn_service_time(self, platform: Platform) -> float:
+        memory = platform.memory_profile()
+        service = _BASE_TXN_CPU_S
+        service *= memory.dram_latency_factor ** 2  # dependent pointer chasing
+        service *= platform.syscall_overhead_factor()
+        if platform.name == "native":
+            service *= _NATIVE_NUMA_FACTOR
+        return service
+
+    def _txn_response_extra(self, platform: Platform) -> float:
+        net = platform.net_profile()
+        rtt = platform.machine.nic.base_rtt_s + 2.0 * net.added_latency()
+        io_latency = _fallback_io_latency(platform)
+        return (
+            _QUERIES_PER_TXN * (rtt + _CLIENT_PER_QUERY_S)
+            + _LOG_WRITES_PER_TXN * io_latency
+        )
+
+    def _capacity(self, platform: Platform, threads: int) -> float:
+        profile = platform.cpu_profile()
+        service = self._txn_service_time(platform)
+        speedup = profile.scheduler.parallel_speedup(
+            max(threads, 1), profile.vcpus
+        )
+        capacity = speedup / service
+        capacity *= platform.oltp_capacity_factor()
+        return min(capacity, _DB_CEILING_TPS)
+
+    def _is_flat_runtime(self, platform: Platform) -> bool:
+        """Custom thread runtimes show no thread-count response (Finding 21)."""
+        return platform.cpu_profile().scheduler.name != "cfs"
+
+    def tps_at(self, platform: Platform, threads: int) -> float:
+        """Deterministic model value at one thread count."""
+        service = self._txn_service_time(platform)
+        extra = self._txn_response_extra(platform)
+        response = service + extra
+
+        profile = platform.cpu_profile()
+        if self._is_flat_runtime(platform):
+            # The custom runtime multiplexes client threads itself: capacity
+            # pins at the vCPU count and thread count has almost no effect.
+            saturated = self._capacity(platform, profile.vcpus)
+            return saturated * (1.0 - 2.718281828 ** (-threads / 12.0))
+
+        capacity = self._capacity(platform, threads)
+        ramp = min(threads / response, capacity)
+
+        knee = min(110.0, 3.1 * profile.vcpus)
+        over = max(0.0, threads - knee) / knee
+        decay = 1.0 / (1.0 + _LOCK_DECAY * over * over)
+        return ramp * decay
+
+    # --- execution ---------------------------------------------------------------
+
+    def run(self, platform: Platform, rng: RngStream) -> MysqlOltpResult:
+        tps_values: list[float] = []
+        for threads in self.thread_counts:
+            value = self.tps_at(platform, threads)
+            # Finding 23: wide error bands that never narrowed.
+            value *= rng.child(f"threads-{threads}").gaussian_factor(0.06)
+            tps_values.append(value)
+        return MysqlOltpResult(
+            platform=platform.name,
+            thread_counts=self.thread_counts,
+            tps=tuple(tps_values),
+        )

@@ -1,0 +1,71 @@
+"""Sysbench CPU prime verification — the Finding 1 control experiment.
+
+A single-threaded loop testing numbers for primality by trial division:
+pure scalar integer arithmetic exercising "a basic subset of all available
+CPU instructions". The paper uses it to show the CPU overhead seen under
+ffmpeg is *not* inherent to any platform — and indeed every platform,
+including OSv, performs equivalently here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.platforms.base import Platform
+from repro.rng import RngStream
+from repro.workloads.base import Workload
+
+__all__ = ["SysbenchCpuWorkload", "SysbenchCpuResult"]
+
+
+@dataclass(frozen=True)
+class SysbenchCpuResult:
+    """One sysbench cpu run."""
+
+    platform: str
+    events_per_second: float
+    total_time_s: float
+    max_prime: int
+
+
+def _trial_division_ops(max_prime: int) -> float:
+    """Scalar operations for one sysbench 'event' (verify 3..max_prime).
+
+    Sysbench divides each candidate c by 2..sqrt(c); the dominant term is
+    sum over c of sqrt(c) ~ (2/3) * N * sqrt(N), a few ops per division.
+    """
+    n = float(max_prime)
+    divisions = (2.0 / 3.0) * n * math.sqrt(n)
+    return divisions * 4.0  # div + compare + increments
+
+
+class SysbenchCpuWorkload(Workload):
+    """``sysbench cpu --cpu-max-prime=10000`` style run, one thread."""
+
+    name = "sysbench-cpu"
+
+    def __init__(self, max_prime: int = 10_000, events: int = 10_000) -> None:
+        if max_prime < 3:
+            raise ConfigurationError("max_prime must be >= 3")
+        if events < 1:
+            raise ConfigurationError("events must be >= 1")
+        self.max_prime = max_prime
+        self.events = events
+
+    def run(self, platform: Platform, rng: RngStream) -> SysbenchCpuResult:
+        profile = platform.cpu_profile()
+        cpu = platform.machine.cpu
+        ops_per_event = _trial_division_ops(self.max_prime)
+        # Single thread, scalar-only: identical native execution everywhere;
+        # only the (tiny) scalar overhead factor and noise can differ.
+        rate = cpu.scalar_ops_per_second(1) / profile.scalar_overhead_factor
+        total_time = self.events * ops_per_event / rate
+        total_time *= rng.gaussian_factor(0.008)
+        return SysbenchCpuResult(
+            platform=platform.name,
+            events_per_second=self.events / total_time,
+            total_time_s=total_time,
+            max_prime=self.max_prime,
+        )

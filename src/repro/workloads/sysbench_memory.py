@@ -1,0 +1,89 @@
+"""Sysbench memory benchmark — the traced memory workload of Section 4.
+
+``sysbench memory`` writes (or reads) fixed-size blocks over a buffer
+either sequentially or randomly. The paper runs it as one of the five
+HAP tracing workloads; as a performance workload it corroborates the
+tinymembench results: sequential mode is bandwidth-bound, random mode is
+latency-bound, and the platform ranking matches Figures 6/7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.platforms.base import Platform
+from repro.rng import RngStream
+from repro.units import GIB, KIB, MIB, to_mib_per_s
+from repro.workloads.base import Workload
+
+__all__ = ["SysbenchMemoryWorkload", "SysbenchMemoryResult"]
+
+
+@dataclass(frozen=True)
+class SysbenchMemoryResult:
+    """One sysbench memory run."""
+
+    platform: str
+    mode: str                 # "seq" | "rnd"
+    operation: str            # "read" | "write"
+    throughput_bytes_per_s: float
+    total_bytes: int
+
+    @property
+    def throughput_mib_per_s(self) -> float:
+        return to_mib_per_s(self.throughput_bytes_per_s)
+
+
+class SysbenchMemoryWorkload(Workload):
+    """``sysbench memory --memory-access-mode={seq,rnd}``."""
+
+    name = "sysbench-memory"
+
+    def __init__(
+        self,
+        mode: str = "seq",
+        operation: str = "write",
+        block_bytes: int = 1 * KIB,
+        total_bytes: int = 10 * GIB,
+        buffer_bytes: int = 64 * MIB,
+    ) -> None:
+        if mode not in ("seq", "rnd"):
+            raise ConfigurationError(f"unknown access mode: {mode!r}")
+        if operation not in ("read", "write"):
+            raise ConfigurationError(f"unknown operation: {operation!r}")
+        if block_bytes <= 0 or total_bytes <= 0 or buffer_bytes <= 0:
+            raise ConfigurationError("sizes must be positive")
+        self.mode = mode
+        self.operation = operation
+        self.block_bytes = block_bytes
+        self.total_bytes = total_bytes
+        self.buffer_bytes = buffer_bytes
+
+    def run(self, platform: Platform, rng: RngStream) -> SysbenchMemoryResult:
+        profile = platform.memory_profile()
+        memory = platform.machine.memory
+        if self.mode == "seq":
+            # Bandwidth-bound: prefetchers hide latency entirely.
+            rate = memory.copy_bandwidth() * profile.bandwidth_factor
+            if self.operation == "write":
+                rate *= 0.94  # write-allocate traffic costs a little
+        else:
+            # Each block lands at a random offset: one dependent access
+            # (latency-bound) followed by a streaming burst for the rest.
+            latency = memory.random_access_latency(
+                self.buffer_bytes, nested_paging=profile.effective_nested
+            )
+            latency *= profile.dram_latency_factor
+            burst = self.block_bytes / (
+                memory.copy_bandwidth() * profile.bandwidth_factor
+            )
+            rate = self.block_bytes / (latency + burst)
+        rate *= rng.gaussian_factor(profile.bandwidth_std)
+        return SysbenchMemoryResult(
+            platform=platform.name,
+            mode=self.mode,
+            operation=self.operation,
+            throughput_bytes_per_s=rate,
+            total_bytes=self.total_bytes,
+        )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.topology import Machine, paper_testbed
+from repro.platforms import get_platform, platform_names
+from repro.rng import RngStream
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A fresh deterministic stream for each test."""
+    return RngStream(20210612, "test")
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """The paper's testbed."""
+    return paper_testbed()
+
+
+@pytest.fixture(params=platform_names())
+def any_platform(request):
+    """Parametrized over every registered platform configuration."""
+    return get_platform(request.param)
+
+
+#: The nine headline platform configurations (the paper's main roster).
+MAIN_PLATFORMS = [
+    "native",
+    "docker",
+    "lxc",
+    "qemu",
+    "firecracker",
+    "cloud-hypervisor",
+    "kata",
+    "gvisor",
+    "osv",
+]
+
+
+@pytest.fixture(params=MAIN_PLATFORMS)
+def main_platform(request):
+    """Parametrized over the paper's main platform roster."""
+    return get_platform(request.param)

@@ -1,0 +1,84 @@
+"""Tests for the platform advisor."""
+
+import pytest
+
+from repro.core.advisor import PlatformAdvisor, Recommendation, WorkloadNeeds
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return PlatformAdvisor(seed=42, repetitions=2)
+
+
+class TestWorkloadNeeds:
+    def test_weights_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadNeeds(cpu=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadNeeds(network=-0.1)
+
+    def test_total_weight(self):
+        needs = WorkloadNeeds(cpu=1.0, memory=0.0, disk=0.0, network=0.0,
+                              startup=0.0, isolation=0.0)
+        assert needs.total_weight == 1.0
+
+
+class TestAdvisor:
+    def test_dimensions_cover_all_candidates(self, advisor):
+        dimensions = advisor.dimensions()
+        assert set(dimensions) == {"cpu", "memory", "disk", "network", "startup", "isolation"}
+        for scores in dimensions.values():
+            assert "docker" in scores
+
+    def test_scores_normalized(self, advisor):
+        for scores in advisor.dimensions().values():
+            assert all(0.0 < v <= 1.0 + 1e-9 for v in scores.values())
+
+    def test_network_heavy_workload_avoids_gvisor(self, advisor):
+        needs = WorkloadNeeds(cpu=0.1, memory=0.1, disk=0.1, network=1.0,
+                              startup=0.0, isolation=0.1)
+        ranked = advisor.recommend(needs, top=8)
+        names = [r.platform for r in ranked]
+        assert names.index("gvisor") > names.index("docker")
+        assert names[0] in ("docker", "lxc", "osv")
+
+    def test_isolation_heavy_workload_prefers_vm_backed(self, advisor):
+        needs = WorkloadNeeds(cpu=0.1, memory=0.1, disk=0.1, network=0.1,
+                              startup=0.0, isolation=1.0)
+        ranked = advisor.recommend(needs, top=8)
+        names = [r.platform for r in ranked]
+        # VM-backed isolation (or the minimal-interface unikernel) must
+        # outrank plain containers.
+        assert names.index("docker") > min(
+            names.index("osv"), names.index("kata"), names.index("cloud-hypervisor")
+        )
+
+    def test_startup_heavy_workload_prefers_containers(self, advisor):
+        needs = WorkloadNeeds(cpu=0.0, memory=0.0, disk=0.0, network=0.0,
+                              startup=1.0, isolation=0.0)
+        ranked = advisor.recommend(needs, top=3)
+        assert ranked[0].platform in ("docker", "cloud-hypervisor", "gvisor")
+
+    def test_io_heavy_workload_avoids_secure_containers(self, advisor):
+        needs = WorkloadNeeds(cpu=0.1, memory=0.1, disk=1.0, network=0.1,
+                              startup=0.0, isolation=0.0)
+        ranked = advisor.recommend(needs, top=8)
+        names = [r.platform for r in ranked]
+        assert names.index("kata") > names.index("qemu")
+        assert names.index("gvisor") > names.index("docker")
+
+    def test_zero_weights_rejected(self, advisor):
+        needs = WorkloadNeeds(cpu=0.0, memory=0.0, disk=0.0, network=0.0,
+                              startup=0.0, isolation=0.0)
+        with pytest.raises(ConfigurationError):
+            advisor.recommend(needs)
+
+    def test_invalid_top_rejected(self, advisor):
+        with pytest.raises(ConfigurationError):
+            advisor.recommend(WorkloadNeeds(), top=0)
+
+    def test_explain_mentions_dimensions(self, advisor):
+        ranked = advisor.recommend(WorkloadNeeds(), top=1)
+        assert isinstance(ranked[0], Recommendation)
+        assert "network" in ranked[0].explain()

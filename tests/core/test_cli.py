@@ -1,0 +1,67 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "fig11", "--quick", "--json", "out"])
+        assert args.figure == "fig11"
+        assert args.quick
+        assert args.json == "out"
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "list"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert "fig18" in out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "firecracker" in out
+        assert "secure_container" in out
+
+    def test_run_single_figure(self, capsys):
+        assert main(["run", "fig11", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "iperf3" in out
+        assert "Gbit/s" in out
+
+    def test_run_with_json_archive(self, tmp_path, capsys):
+        target = str(tmp_path / "results")
+        assert main(["run", "fig12", "--quick", "--json", target]) == 0
+        assert (tmp_path / "results" / "fig12.json").exists()
+        assert (tmp_path / "results" / "manifest.json").exists()
+
+    def test_hap_subset(self, capsys):
+        assert main(["hap", "osv", "firecracker"]) == 0
+        out = capsys.readouterr().out
+        assert "osv" in out and "firecracker" in out
+
+    def test_findings_exit_code_reflects_pass(self, capsys):
+        assert main(["findings"]) == 0
+        out = capsys.readouterr().out
+        assert "Findings reproduced: 28/28" in out
+
+    def test_advise_recommends(self, capsys):
+        assert main(["advise", "--network", "1.0", "--startup", "0.9", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 2
+        assert "1." in out and "2." in out
+
+    def test_advise_rejects_bad_weights(self):
+        with pytest.raises(Exception):
+            main(["advise", "--cpu", "3.0"])

@@ -1,0 +1,67 @@
+"""Tests for the guest-density model."""
+
+import pytest
+
+from repro.core.density import DensityModel
+from repro.errors import ConfigurationError
+from repro.platforms import get_platform
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DensityModel()
+
+
+class TestFootprints:
+    def test_containers_far_lighter_than_vms(self, model):
+        docker = model.footprint("docker").total_bytes
+        qemu = model.footprint("qemu").total_bytes
+        assert qemu > 10 * docker
+
+    def test_firecracker_vmm_lighter_than_qemu(self, model):
+        """The microVM pitch: a few MiB of VMM overhead vs QEMU's ~150."""
+        fc = model.footprint("firecracker")
+        qemu = model.footprint("qemu")
+        assert fc.isolation_overhead_bytes < 0.15 * qemu.isolation_overhead_bytes
+
+    def test_osv_image_smaller_than_linux_guest(self, model):
+        osv = model.footprint("osv-fc")
+        fc = model.footprint("firecracker")
+        assert osv.kernel_bytes < 0.3 * fc.kernel_bytes
+
+    def test_unknown_platform_footprint_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.footprint("nonexistent")
+
+
+class TestDensity:
+    def test_container_density_highest(self, model):
+        """Section 1: containers promise higher density."""
+        docker = model.max_guests("docker")
+        for vm_platform in ("qemu", "kata", "firecracker"):
+            assert docker > model.max_guests(vm_platform)
+
+    def test_firecracker_density_beats_qemu(self, model):
+        assert model.max_guests("firecracker") > model.max_guests("qemu")
+
+    def test_ksm_helps_vms_not_containers(self, model):
+        """Section 3.2: KSM increases density for VMs; container processes
+        already share the host kernel."""
+        assert model.ksm_density_gain("qemu") > 0.15
+        assert model.ksm_density_gain("kata") > 0.1
+        assert model.ksm_density_gain("docker") == 0.0
+
+    def test_app_footprint_dominates_at_scale(self):
+        """With a large application, platform overheads wash out."""
+        big_app = DensityModel(app_bytes=2048 * MIB)
+        docker = big_app.max_guests("docker")
+        firecracker = big_app.max_guests("firecracker")
+        assert docker / firecracker < 1.1
+
+    def test_invalid_app_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DensityModel(app_bytes=-1)
+
+    def test_accepts_platform_objects(self, model):
+        assert model.max_guests(get_platform("docker")) == model.max_guests("docker")

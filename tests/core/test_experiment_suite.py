@@ -1,0 +1,115 @@
+"""Tests for the experiment registry, findings checker, and suite facade."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import EXPERIMENTS, get_experiment
+from repro.core.findings import FindingsEvaluator
+from repro.core.suite import BenchmarkSuite
+from repro.errors import ConfigurationError
+
+
+class TestExperimentRegistry:
+    def test_all_figures_covered(self):
+        expected = {f"fig{n:02d}" for n in range(5, 19)} | {"cpu-prime"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_experiment_names_bench_target(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.bench_target.startswith("benchmarks/")
+            assert experiment.modules
+            assert experiment.paper_observation
+
+    def test_lookup(self):
+        assert get_experiment("fig11").workload.startswith("iperf3")
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_startup_experiments_use_300_reps(self):
+        for figure_id in ("fig13", "fig14", "fig15"):
+            assert get_experiment(figure_id).repetitions == 300
+
+
+class TestFindings:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return FindingsEvaluator(seed=42, quick=True).evaluate()
+
+    def test_all_28_findings_evaluated(self, checks):
+        assert [c.finding_id for c in checks] == list(range(1, 29))
+
+    def test_all_findings_reproduce(self, checks):
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(f"F{c.finding_id}: {c.detail}" for c in failed)
+
+    def test_details_are_informative(self, checks):
+        for check in checks:
+            assert check.detail
+            assert check.statement
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return BenchmarkSuite(seed=42, quick=True)
+
+    def test_describe_mentions_testbed(self, suite):
+        assert "EPYC" in suite.describe()
+
+    def test_figure_ids_complete(self, suite):
+        assert "fig05" in suite.figure_ids()
+        assert "fig18" in suite.figure_ids()
+
+    def test_run_figure_caches(self, suite):
+        first = suite.run_figure("fig11")
+        second = suite.run_figure("fig11")
+        assert first is second
+
+    def test_unknown_figure_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            suite.run_figure("fig99")
+
+    def test_override_bypasses_cache(self, suite):
+        default = suite.run_figure("fig12")
+        overridden = suite.run_figure("fig12", repetitions=2)
+        assert default is not overridden
+
+    def test_save_results_writes_json(self, suite, tmp_path):
+        suite.run_figure("fig11")
+        written = suite.save_results(tmp_path)
+        names = {p.name for p in written}
+        assert "fig11.json" in names
+        assert "manifest.json" in names
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["seed"] == 42
+        payload = json.loads((tmp_path / "fig11.json").read_text())
+        assert payload["figure_id"] == "fig11"
+
+    def test_experiment_index_lists_targets(self, suite):
+        index = suite.experiment_index()
+        assert "fig18" in index
+        assert "benchmarks/" in index
+
+
+class TestRegistryConsistency:
+    """The experiment registry, figure registry, and bench files must agree."""
+
+    def test_every_experiment_has_a_figure_function(self):
+        from repro.core.figures import FIGURES
+
+        assert set(EXPERIMENTS) == set(FIGURES)
+
+    def test_every_bench_target_exists_on_disk(self):
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        for experiment in EXPERIMENTS.values():
+            assert (repo_root / experiment.bench_target).exists(), experiment.bench_target
+
+    def test_every_module_reference_imports(self):
+        import importlib
+
+        for experiment in EXPERIMENTS.values():
+            for module_name in experiment.modules:
+                importlib.import_module(module_name)

@@ -1,0 +1,133 @@
+"""Tests for the runner and report rendering."""
+
+import pytest
+
+from repro.core.report import render_figure, render_rows, render_series
+from repro.core.results import FigureResult, ResultRow, SeriesRow
+from repro.core.runner import Runner
+from repro.core.stats import summarize
+from repro.errors import ConfigurationError
+from repro.platforms import get_platform
+from repro.workloads.iperf import IperfWorkload
+
+
+class TestRunner:
+    def test_repeat_summarizes(self):
+        runner = Runner(1, "scope")
+        platform = get_platform("native")
+        summary = runner.repeat(
+            IperfWorkload(), platform, 5, lambda r: r.throughput_gbit_per_s
+        )
+        assert summary.count == 5
+        assert summary.mean > 0
+
+    def test_deterministic_given_seed_and_scope(self):
+        first = Runner(7, "scope").collect(
+            IperfWorkload(), get_platform("docker"), 3, lambda r: r.throughput_gbit_per_s
+        )
+        second = Runner(7, "scope").collect(
+            IperfWorkload(), get_platform("docker"), 3, lambda r: r.throughput_gbit_per_s
+        )
+        assert first == second
+
+    def test_different_scopes_differ(self):
+        first = Runner(7, "a").collect(
+            IperfWorkload(), get_platform("docker"), 3, lambda r: r.throughput_gbit_per_s
+        )
+        second = Runner(7, "b").collect(
+            IperfWorkload(), get_platform("docker"), 3, lambda r: r.throughput_gbit_per_s
+        )
+        assert first != second
+
+    def test_repetitions_are_independent_draws(self):
+        values = Runner(7, "scope").collect(
+            IperfWorkload(), get_platform("docker"), 5, lambda r: r.throughput_gbit_per_s
+        )
+        assert len(set(values)) > 1
+
+    def test_invalid_repetitions_rejected(self):
+        runner = Runner(1, "scope")
+        with pytest.raises(ConfigurationError):
+            runner.repeat(IperfWorkload(), get_platform("native"), 0, lambda r: 0.0)
+
+    def test_collect_results_returns_objects(self):
+        results = Runner(1, "scope").collect_results(
+            IperfWorkload(), get_platform("native"), 2
+        )
+        assert len(results) == 2
+        assert all(hasattr(r, "throughput_gbit_per_s") for r in results)
+
+
+class TestReport:
+    def test_render_rows_alignment_and_bars(self):
+        rows = [
+            ResultRow("a", "Fast", summarize([100.0]), "ms"),
+            ResultRow("b", "Slow", summarize([200.0]), "ms"),
+        ]
+        text = render_rows(rows, "ms")
+        assert "Fast" in text and "Slow" in text
+        assert "#" in text
+        fast_line = next(line for line in text.splitlines() if "Fast" in line)
+        slow_line = next(line for line in text.splitlines() if "Slow" in line)
+        assert slow_line.count("#") > fast_line.count("#")
+
+    def test_render_rows_includes_extras(self):
+        rows = [ResultRow("a", "A", summarize([1.0]), "ms", extra={"max": 2.0})]
+        assert "max" in render_rows(rows, "ms")
+
+    def test_render_empty_rows(self):
+        assert render_rows([], "ms") == "(no rows)"
+
+    def test_render_sweep_series(self):
+        series = [SeriesRow("a", "A", (10.0, 20.0), (1.0, 2.0))]
+        text = render_series(series, "tps", "threads")
+        assert "threads" in text
+        assert "10" in text and "20" in text
+
+    def test_render_cdf_series_as_percentiles(self):
+        values = tuple(float(v) for v in range(1, 101))
+        probabilities = tuple(v / 100.0 for v in range(1, 101))
+        series = [SeriesRow("a", "A", values, probabilities)]
+        text = render_series(series, "ms", "ms")
+        assert "p50" in text and "p99" in text
+
+    def test_render_figure_includes_notes(self):
+        figure = FigureResult("f", "T", "ms", notes=["important caveat"])
+        figure.rows.append(ResultRow("a", "A", summarize([1.0]), "ms"))
+        assert "important caveat" in render_figure(figure)
+
+
+class TestMarkdownRenderer:
+    def test_markdown_table_for_rows(self):
+        from repro.core.report import render_markdown
+
+        figure = FigureResult("figX", "Test", "ms")
+        figure.rows.append(ResultRow("a", "Alpha", summarize([1.0, 2.0]), "ms"))
+        text = render_markdown(figure)
+        assert "| Alpha |" in text
+        assert text.startswith("### figX")
+
+    def test_markdown_series_lines(self):
+        from repro.core.report import render_markdown
+
+        figure = FigureResult("figY", "Sweep", "tps", x_label="threads")
+        figure.series.append(SeriesRow("a", "Alpha", (10.0, 20.0), (100.0, 200.0)))
+        text = render_markdown(figure)
+        assert "threads -> tps" in text
+
+    def test_markdown_cdf_summary(self):
+        from repro.core.report import render_markdown
+
+        values = tuple(float(v) for v in range(1, 51))
+        probabilities = tuple(v / 50.0 for v in range(1, 51))
+        figure = FigureResult("figZ", "Boot", "ms")
+        figure.series.append(SeriesRow("a", "Alpha", values, probabilities))
+        text = render_markdown(figure)
+        assert "p50" in text and "p90" in text
+
+    def test_markdown_notes_quoted(self):
+        from repro.core.report import render_markdown
+
+        figure = FigureResult("figN", "T", "ms", notes=["caveat here"])
+        figure.rows.append(ResultRow("a", "A", summarize([1.0]), "ms"))
+        assert "> caveat here" in render_markdown(figure)

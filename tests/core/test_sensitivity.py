@@ -1,0 +1,66 @@
+"""Tests for the sensitivity-analysis sweeps."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    SensitivityResult,
+    sweep_clh_net_maturity,
+    sweep_ninep_amplification,
+    sweep_ninep_vs_virtiofs_crossover,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNinepAmplificationSweep:
+    @pytest.fixture(scope="class")
+    def result(self) -> SensitivityResult:
+        return sweep_ninep_amplification(seed=7)
+
+    def test_claim_holds_at_calibrated_value(self, result):
+        calibrated = next(p for p in result.points if p.parameter_value == 3.2)
+        assert calibrated.claim_holds
+
+    def test_claim_eventually_fails_for_ideal_9p(self, result):
+        """An impossibly lean 9p client would rescue Kata — the finding is
+        about the protocol as deployed, not 9p in the abstract."""
+        assert result.threshold is not None
+        assert result.threshold <= 1.8
+
+    def test_latency_monotone_in_amplification(self, result):
+        ordered = sorted(result.points, key=lambda p: p.parameter_value)
+        metrics = [p.metric for p in ordered]
+        assert metrics == sorted(metrics)
+
+
+class TestClhMaturitySweep:
+    @pytest.fixture(scope="class")
+    def result(self) -> SensitivityResult:
+        return sweep_clh_net_maturity(seed=7)
+
+    def test_claim_holds_at_calibrated_value(self, result):
+        calibrated = next(p for p in result.points if p.parameter_value == 2.1)
+        assert calibrated.claim_holds
+
+    def test_maturity_one_reaches_qemu(self, result):
+        """At QEMU-equal maturity the architectures are equal — exactly the
+        paper's point that CLH has no architectural bottleneck."""
+        at_parity = next(p for p in result.points if p.parameter_value == 1.0)
+        assert not at_parity.claim_holds or at_parity.metric > 26.0
+
+
+class TestMsizeSweep:
+    def test_msize_cannot_save_ninep(self):
+        """Finding 7 is robust: round trips, not msize, are the problem."""
+        result = sweep_ninep_vs_virtiofs_crossover(seed=7)
+        assert result.robust
+
+
+class TestSweepMechanics:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_ninep_amplification(values=[])
+
+    def test_threshold_none_when_robust(self):
+        result = sweep_ninep_vs_virtiofs_crossover(seed=7)
+        assert result.threshold is None
+        assert result.robust

@@ -1,0 +1,80 @@
+"""Tests for the OSv image build pipeline (Section 2.4.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.guests.osv_build import (
+    BASE_IMAGE_BYTES,
+    ApplicationManifest,
+    build_image,
+    estimate_build_time,
+)
+from repro.units import MIB
+
+
+def _manifest(**overrides) -> ApplicationManifest:
+    defaults = dict(name="memcached", binary_bytes=2 * MIB)
+    defaults.update(overrides)
+    return ApplicationManifest(**defaults)
+
+
+class TestManifest:
+    def test_defaults_are_buildable(self):
+        manifest = _manifest()
+        assert manifest.relocatable_shared_object
+        assert manifest.position_independent
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _manifest(binary_bytes=0)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _manifest(threads=0)
+
+
+class TestBuildImage:
+    def test_fuses_base_and_application(self):
+        image = build_image(_manifest())
+        assert image.size_bytes == BASE_IMAGE_BYTES + 2 * MIB
+        assert image.name == "osv-memcached"
+
+    def test_non_pie_rejected(self):
+        with pytest.raises(UnsupportedOperationError, match="position-independent"):
+            build_image(_manifest(position_independent=False))
+
+    def test_non_shared_object_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            build_image(_manifest(relocatable_shared_object=False))
+
+    def test_fork_using_app_rejected(self):
+        """Multi-process applications cannot run on OSv."""
+        with pytest.raises(UnsupportedOperationError, match="fork"):
+            build_image(_manifest(uses_fork=True))
+
+    def test_exec_using_app_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            build_image(_manifest(uses_exec=True))
+
+    def test_multithreaded_app_is_fine(self):
+        """OSv's limit is processes, not threads (Section 2.4.1)."""
+        image = build_image(_manifest(threads=64))
+        assert image.size_bytes > BASE_IMAGE_BYTES
+
+    def test_bigger_binary_boots_slower(self):
+        small = build_image(_manifest(binary_bytes=1 * MIB))
+        large = build_image(_manifest(binary_bytes=40 * MIB))
+        assert large.boot_time_s > small.boot_time_s
+
+    def test_image_inherits_osv_runtime_properties(self):
+        image = build_image(_manifest())
+        assert not image.supports_fork
+        assert image.syscall_is_function_call
+        assert image.simd_overhead_factor > 1.0
+
+
+class TestBuildTime:
+    def test_build_time_scales_with_binary(self):
+        assert estimate_build_time(_manifest(binary_bytes=100 * MIB)) > (
+            estimate_build_time(_manifest(binary_bytes=1 * MIB))
+        )

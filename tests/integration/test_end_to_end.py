@@ -1,0 +1,101 @@
+"""Integration tests: determinism, cross-figure consistency, full pipeline."""
+
+import pytest
+
+from repro.core.figures import run_figure
+from repro.core.suite import BenchmarkSuite
+from repro.rng import RngStream, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_figure(self):
+        first = run_figure("fig11", 123)
+        second = run_figure("fig11", 123)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seeds_differ(self):
+        first = run_figure("fig11", 123)
+        second = run_figure("fig11", 124)
+        assert first.to_json() != second.to_json()
+
+    def test_seed_tree_stability(self):
+        """Adding consumers must not perturb existing streams."""
+        root = RngStream(42)
+        value_before = root.child("a").uniform()
+        root.child("b")  # a new consumer appears...
+        value_after = RngStream(42).child("a").uniform()
+        assert value_before == value_after
+
+    def test_derive_seed_is_pure(self):
+        assert derive_seed(42, "x/y") == derive_seed(42, "x/y")
+        assert derive_seed(42, "x/y") != derive_seed(42, "x/z")
+
+    def test_startup_figures_deterministic(self):
+        first = run_figure("fig14", 7, startups=20)
+        second = run_figure("fig14", 7, startups=20)
+        assert first.to_json() == second.to_json()
+
+
+class TestCrossFigureConsistency:
+    def test_memcached_consistent_with_micro_benchmarks(self):
+        """Finding 18 aside, memcached ordering follows net+memory micros."""
+        memcached = run_figure("fig16", 42, repetitions=2)
+        iperf = run_figure("fig11", 42)
+        assert (
+            memcached.row("gvisor").summary.mean
+            < memcached.row("docker").summary.mean
+        )
+        assert iperf.row("gvisor").summary.mean < iperf.row("docker").summary.mean
+
+    def test_mysql_second_group_matches_memory_outliers(self):
+        """Finding 22: Firecracker's MySQL deficit mirrors its memory figure."""
+        memory = run_figure("fig07", 42, repetitions=2)
+        mysql = run_figure("fig17", 42, repetitions=2)
+        fc_memory_deficit = (
+            memory.row("firecracker").summary.mean / memory.row("native").summary.mean
+        )
+        fc_mysql_deficit = max(mysql.series_for("firecracker").y_values) / max(
+            mysql.series_for("docker").y_values
+        )
+        assert fc_memory_deficit < 0.9
+        assert fc_mysql_deficit < 0.7
+
+    def test_boot_figures_agree_on_firecracker_reversal(self):
+        linux = run_figure("fig14", 42, startups=20)
+        osv = run_figure("fig15", 42, startups=20)
+        assert (
+            linux.row("firecracker").summary.mean > linux.row("qemu").summary.mean
+        )
+        assert (
+            osv.row("osv-fc:end-to-end").summary.mean
+            < osv.row("osv:end-to-end").summary.mean
+        )
+
+
+class TestFullPipeline:
+    def test_quick_suite_runs_everything(self, tmp_path):
+        suite = BenchmarkSuite(seed=1, quick=True)
+        results = suite.run_all()
+        assert set(results) == set(suite.figure_ids())
+        for figure in results.values():
+            assert figure.rows or figure.series
+            assert figure.render()
+        written = suite.save_results(tmp_path)
+        assert len(written) == len(results) + 1  # + manifest
+
+    def test_conclusion_1_containers_near_native(self):
+        """Conclusion 1 spot-check across three subsystems."""
+        prime = run_figure("cpu-prime", 42, repetitions=3)
+        fio = run_figure("fig09", 42, repetitions=3)
+        iperf = run_figure("fig11", 42)
+        for figure, tolerance in ((prime, 0.95), (fio, 0.9), (iperf, 0.85)):
+            native = figure.row("native").summary.mean
+            docker = figure.row("docker").summary.mean
+            assert docker > tolerance * native
+
+    def test_conclusion_6_kata_tagline_does_not_hold(self):
+        """'Speed of containers, security of VMs' fails on both halves."""
+        fio = run_figure("fig09", 42, repetitions=3)
+        hap = run_figure("fig18", 42)
+        assert fio.row("kata").summary.mean < 0.62 * fio.row("docker").summary.mean
+        assert hap.row("kata").summary.mean > hap.row("docker").summary.mean

@@ -1,0 +1,149 @@
+"""Tests for namespaces, cgroups, scheduler, KVM, and seccomp."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PlatformError
+from repro.kernel.cgroups import CgroupSetup, CgroupVersion
+from repro.kernel.kvm import ExitReason, KvmModule
+from repro.kernel.namespaces import NamespaceKind, NamespaceSet
+from repro.kernel.sched import CfsScheduler, CustomScheduler
+from repro.kernel.seccomp import SeccompFilter
+from repro.units import GIB
+
+
+class TestNamespaces:
+    def test_standard_container_has_five_kinds(self):
+        assert len(NamespaceSet.standard_container().kinds) == 5
+
+    def test_unprivileged_has_all_seven(self):
+        assert len(NamespaceSet.unprivileged_container().kinds) == len(NamespaceKind)
+
+    def test_net_namespace_dominates_cost(self):
+        with_net = NamespaceSet(frozenset({NamespaceKind.NET}))
+        without = NamespaceSet(frozenset({NamespaceKind.UTS, NamespaceKind.IPC}))
+        assert with_net.creation_cost() > 5 * without.creation_cost()
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NamespaceSet(frozenset())
+
+    def test_isolation_layers_counts_kinds(self):
+        assert NamespaceSet.standard_container().isolation_layers() == 5
+
+
+class TestCgroups:
+    def test_v1_costs_more_than_v2(self):
+        v1 = CgroupSetup(version=CgroupVersion.V1)
+        v2 = CgroupSetup(version=CgroupVersion.V2)
+        assert v1.setup_cost() > v2.setup_cost()
+
+    def test_unprivileged_requires_v2(self):
+        with pytest.raises(ConfigurationError):
+            CgroupSetup(version=CgroupVersion.V1, unprivileged=True)
+
+    def test_unprivileged_delegation_costs_extra(self):
+        plain = CgroupSetup(version=CgroupVersion.V2)
+        unpriv = CgroupSetup(version=CgroupVersion.V2, unprivileged=True)
+        assert unpriv.setup_cost() > plain.setup_cost()
+
+    def test_empty_controllers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CgroupSetup(controllers=())
+
+
+class TestSchedulers:
+    def test_cfs_near_ideal_below_saturation(self):
+        cfs = CfsScheduler()
+        assert cfs.efficiency(8, 16) > 0.98
+
+    def test_cfs_degrades_gracefully_oversubscribed(self):
+        cfs = CfsScheduler()
+        assert 0.5 < cfs.efficiency(64, 16) < 1.0
+
+    def test_custom_scheduler_worse_everywhere(self):
+        osv = CustomScheduler(
+            "osv", work_conserving_efficiency=0.80, oversubscription_penalty=0.9
+        )
+        cfs = CfsScheduler()
+        for threads in (4, 16, 50, 160):
+            assert osv.efficiency(threads, 16) < cfs.efficiency(threads, 16)
+
+    def test_parallel_speedup_capped_by_cores(self):
+        cfs = CfsScheduler()
+        assert cfs.parallel_speedup(64, 16) <= 16.0
+
+    def test_speedup_monotone_in_threads_below_cores(self):
+        cfs = CfsScheduler()
+        assert cfs.parallel_speedup(8, 16) < cfs.parallel_speedup(16, 16)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CfsScheduler().efficiency(0, 16)
+
+    def test_efficiency_floor(self):
+        brutal = CustomScheduler(
+            "brutal", work_conserving_efficiency=0.5, oversubscription_penalty=10.0
+        )
+        assert brutal.efficiency(10_000, 1) >= 0.05
+
+
+class TestKvm:
+    def test_vm_lifecycle_and_costs(self):
+        kvm = KvmModule()
+        vm, setup = kvm.create_vm("guest")
+        assert setup > 0
+        assert kvm.create_vcpus(vm, 16) == pytest.approx(16 * KvmModule.CREATE_VCPU_COST_S)
+        assert kvm.map_memory(vm, 4 * GIB) == pytest.approx(
+            4 * KvmModule.MEMORY_REGION_COST_PER_GIB_S
+        )
+        assert vm.vcpus == 16
+        assert vm.memory_bytes == 4 * GIB
+
+    def test_duplicate_vm_rejected(self):
+        kvm = KvmModule()
+        kvm.create_vm("guest")
+        with pytest.raises(PlatformError):
+            kvm.create_vm("guest")
+
+    def test_lookup_missing_vm_rejected(self):
+        with pytest.raises(PlatformError):
+            KvmModule().vm("ghost")
+
+    def test_userspace_bounce_costs_more(self):
+        in_kernel = KvmModule.exit_cost(ExitReason.VIRTQUEUE_KICK, to_userspace=False)
+        bounced = KvmModule.exit_cost(ExitReason.VIRTQUEUE_KICK, to_userspace=True)
+        assert bounced > in_kernel
+
+    def test_exit_statistics(self):
+        kvm = KvmModule()
+        vm, _ = kvm.create_vm("guest")
+        vm.record_exit(ExitReason.MMIO, 5)
+        vm.record_exit(ExitReason.HLT)
+        assert vm.total_exits == 6
+
+    def test_invalid_vcpu_count_rejected(self):
+        kvm = KvmModule()
+        vm, _ = kvm.create_vm("guest")
+        with pytest.raises(ConfigurationError):
+            kvm.create_vcpus(vm, 0)
+
+
+class TestSeccomp:
+    def test_sentry_filter_is_tiny_and_ioless(self):
+        sentry = SeccompFilter.sentry_filter()
+        assert sentry.surface_size < 40
+        assert not sentry.allows("openat")  # I/O must go through the Gofer
+        assert sentry.allows("futex")
+
+    def test_docker_profile_is_broad(self):
+        docker = SeccompFilter.docker_default()
+        assert docker.surface_size > 300
+
+    def test_per_syscall_overhead_scales_with_rules(self):
+        small = SeccompFilter("s", frozenset({"read", "write"}))
+        big = SeccompFilter.docker_default()
+        assert big.per_syscall_overhead() > small.per_syscall_overhead()
+
+    def test_empty_allowlist_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeccompFilter("bad", frozenset())

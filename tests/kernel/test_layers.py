@@ -1,0 +1,65 @@
+"""Tests for the container image / layered-filesystem model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.layers import ContainerImage, ImageLayer, OverlayMount, ZfsClone
+from repro.units import MIB
+
+
+class TestContainerImage:
+    def test_typical_image_shape(self):
+        image = ContainerImage.typical()
+        assert len(image.layers) == 6
+        assert image.total_bytes > 100 * MIB
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContainerImage("empty", ())
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImageLayer("sha256:x", -1, 10)
+
+    def test_invalid_layer_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContainerImage.typical(layer_count=0)
+
+
+class TestOverlayMount:
+    def test_mount_time_grows_with_layers(self):
+        shallow = OverlayMount(ContainerImage.typical(layer_count=2))
+        deep = OverlayMount(ContainerImage.typical(layer_count=20))
+        assert deep.mount_time() > shallow.mount_time()
+
+    def test_first_write_pays_copy_up(self):
+        mount = OverlayMount(ContainerImage.typical())
+        first = mount.write_latency("/etc/big.conf", 64 * MIB)
+        second = mount.write_latency("/etc/big.conf", 64 * MIB)
+        assert first > 100 * second
+        assert mount.copied_up_files == 1
+
+    def test_copy_up_scales_with_file_size(self):
+        mount = OverlayMount(ContainerImage.typical())
+        small = mount.write_latency("/a", 1 * MIB)
+        big = mount.write_latency("/b", 100 * MIB)
+        assert big > 10 * small
+
+    def test_negative_size_rejected(self):
+        mount = OverlayMount(ContainerImage.typical())
+        with pytest.raises(ConfigurationError):
+            mount.write_latency("/a", -1)
+
+
+class TestZfsClone:
+    def test_clone_is_constant_time_in_image_size(self):
+        clone = ZfsClone()
+        small = clone.provision_time(ContainerImage.typical(layer_count=1))
+        huge = clone.provision_time(ContainerImage.typical(layer_count=30))
+        assert small == huge
+
+    def test_clone_cost_matches_lxc_boot_phase(self):
+        """The LXC boot sequence charges ~60 ms for zfs-clone-rootfs."""
+        clone = ZfsClone()
+        total = clone.provision_time(ContainerImage.typical())
+        assert 0.04 < total < 0.09

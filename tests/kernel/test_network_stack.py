@@ -1,0 +1,93 @@
+"""Tests for the network stacks and virtual devices."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.netdev import (
+    BridgePath,
+    KataVhostPath,
+    NativePath,
+    NetDevice,
+    NetstackPath,
+    TapVirtioPath,
+)
+from repro.kernel.netstack import (
+    GuestLinuxStack,
+    GvisorNetstack,
+    HostLinuxStack,
+    NetStack,
+    OsvStack,
+)
+
+
+class TestNetStack:
+    def test_gso_amortizes_per_segment_cost(self):
+        stack = HostLinuxStack()
+        assert stack.effective_per_segment_cost() == pytest.approx(
+            stack.per_segment_cost_s / stack.gso_factor
+        )
+
+    def test_netstack_is_far_more_expensive(self):
+        linux = HostLinuxStack()
+        netstack = GvisorNetstack()
+        assert (
+            netstack.effective_per_segment_cost()
+            > 20 * linux.effective_per_segment_cost()
+        )
+
+    def test_netstack_incomplete_rfcs_cost_goodput(self):
+        assert GvisorNetstack().throughput_efficiency() < 0.5
+        assert HostLinuxStack().throughput_efficiency() == 1.0
+
+    def test_osv_stack_leaner_than_linux(self):
+        assert OsvStack().per_segment_cost_s < GuestLinuxStack().per_segment_cost_s
+        assert OsvStack().per_message_cost_s < GuestLinuxStack().per_message_cost_s
+
+    def test_invalid_gso_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetStack("bad", 1e-6, 0.5, 1e-6, 1.0)
+
+    def test_invalid_completeness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetStack("bad", 1e-6, 2.0, 1e-6, 0.0)
+
+
+class TestNetPaths:
+    def test_native_path_is_free(self):
+        path = NativePath()
+        assert path.per_packet_cost() == 0.0
+        assert path.added_latency() == 0.0
+
+    def test_bridge_cheaper_than_tap_virtio(self):
+        assert BridgePath().per_packet_cost() < TapVirtioPath().per_packet_cost()
+        assert BridgePath().added_latency() < TapVirtioPath().added_latency()
+
+    def test_nat_adds_cost(self):
+        assert BridgePath(nat=True).per_packet_cost() > BridgePath(nat=False).per_packet_cost()
+
+    def test_maturity_overhead_scales_costs(self):
+        lean = TapVirtioPath(maturity_overhead=1.0)
+        immature = TapVirtioPath(maturity_overhead=2.0)
+        assert immature.per_packet_cost() == pytest.approx(2 * lean.per_packet_cost())
+        assert immature.added_latency() == pytest.approx(2 * lean.added_latency())
+
+    def test_netstack_path_dominated_by_sentry_hop(self):
+        path = NetstackPath()
+        assert path.per_packet_cost() > BridgePath().per_packet_cost() * 5
+
+    def test_kata_vhost_latency_near_bridge(self):
+        """Finding 10: Kata's latency groups with the bridges."""
+        kata = KataVhostPath().added_latency()
+        bridge = BridgePath().added_latency()
+        tap = TapVirtioPath().added_latency()
+        assert kata < tap
+        assert kata < 2.0 * bridge
+
+    def test_kata_vhost_throughput_cost_is_virtio_like(self):
+        kata = KataVhostPath().per_packet_cost()
+        tap = TapVirtioPath().per_packet_cost()
+        assert kata > tap  # bridge hops on top of the virtio cost
+
+    def test_negative_device_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetDevice("bad", per_packet_cost_s=-1.0, per_hop_latency_s=0.0)

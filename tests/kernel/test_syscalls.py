@@ -1,0 +1,66 @@
+"""Tests for the syscall table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.syscalls import MODE_SWITCH_COST, Syscall, SyscallCategory, SyscallTable
+
+
+class TestSyscallTable:
+    def test_default_table_nonempty(self):
+        table = SyscallTable()
+        assert len(table) > 30
+
+    def test_lookup_known_syscall(self):
+        table = SyscallTable()
+        read = table.get("read")
+        assert read.category is SyscallCategory.FILE_IO
+
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyscallTable().get("not_a_syscall")
+
+    def test_contains(self):
+        table = SyscallTable()
+        assert "mmap" in table
+        assert "bogus" not in table
+
+    def test_total_cost_includes_mode_switch(self):
+        table = SyscallTable()
+        getpid = table.get("getpid")
+        assert getpid.total_cost_s == pytest.approx(
+            MODE_SWITCH_COST + getpid.service_time_s
+        )
+
+    def test_by_category_filters(self):
+        table = SyscallTable()
+        network = table.by_category(SyscallCategory.NETWORK)
+        assert network
+        assert all(s.category is SyscallCategory.NETWORK for s in network)
+
+    def test_every_category_populated(self):
+        table = SyscallTable()
+        for category in SyscallCategory:
+            assert table.by_category(category), category
+
+    def test_duplicate_names_rejected(self):
+        duplicate = [
+            Syscall("read", SyscallCategory.FILE_IO, 1e-9),
+            Syscall("read", SyscallCategory.FILE_IO, 2e-9),
+        ]
+        with pytest.raises(ConfigurationError):
+            SyscallTable(duplicate)
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Syscall("bad", SyscallCategory.INFO, -1.0)
+
+    def test_execve_most_expensive_process_call(self):
+        table = SyscallTable()
+        process = table.by_category(SyscallCategory.PROCESS)
+        most_expensive = max(process, key=lambda s: s.service_time_s)
+        assert most_expensive.name == "execve"
+
+    def test_vdso_time_calls_are_cheap(self):
+        table = SyscallTable()
+        assert table.get("clock_gettime").service_time_s < 1e-7

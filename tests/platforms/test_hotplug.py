@@ -1,0 +1,77 @@
+"""Tests for the Cloud Hypervisor hotplug model (Section 2.1.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PlatformError
+from repro.kernel.kvm import KvmModule
+from repro.platforms.hotplug import HOTPLUG_MEMORY_GRANULE, HotplugController
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def controller():
+    kvm = KvmModule()
+    vm, _ = kvm.create_vm("clh-guest")
+    kvm.create_vcpus(vm, 4)
+    kvm.map_memory(vm, 2 * GIB)
+    return HotplugController(kvm=kvm, vm=vm)
+
+
+class TestMemoryHotplug:
+    def test_granule_is_128_mib(self):
+        assert HOTPLUG_MEMORY_GRANULE == 128 * MIB
+
+    def test_valid_hotplug_grows_guest_memory(self, controller):
+        before = controller.vm.memory_bytes
+        latency = controller.hotplug_memory(256 * MIB)
+        assert controller.vm.memory_bytes == before + 256 * MIB
+        assert latency > 0
+
+    def test_non_multiple_rejected(self, controller):
+        with pytest.raises(PlatformError, match="128 MiB"):
+            controller.hotplug_memory(100 * MIB)
+
+    def test_zero_size_rejected(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.hotplug_memory(0)
+
+    def test_latency_scales_with_granules(self, controller):
+        small = controller.hotplug_memory(128 * MIB)
+        large = controller.hotplug_memory(1 * GIB)
+        assert large > small
+
+
+class TestVcpuHotplug:
+    def test_hotplugged_vcpus_start_offline(self, controller):
+        controller.hotplug_vcpus(2)
+        assert controller.vm.vcpus == 6
+        assert controller.offline_vcpus == 2
+        assert controller.usable_vcpus == 4  # not yet online!
+
+    def test_online_requires_manual_sysfs_step(self, controller):
+        controller.hotplug_vcpus(2)
+        controller.online_vcpus(2)
+        assert controller.usable_vcpus == 6
+        assert controller.offline_vcpus == 0
+
+    def test_cannot_online_more_than_hotplugged(self, controller):
+        controller.hotplug_vcpus(1)
+        with pytest.raises(PlatformError):
+            controller.online_vcpus(2)
+
+    def test_partial_online(self, controller):
+        controller.hotplug_vcpus(4)
+        controller.online_vcpus(1)
+        assert controller.usable_vcpus == 5
+        assert controller.offline_vcpus == 3
+
+    def test_invalid_counts_rejected(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.hotplug_vcpus(0)
+        with pytest.raises(ConfigurationError):
+            controller.online_vcpus(0)
+
+    def test_hotplug_latency_scales_with_count(self, controller):
+        one = controller.hotplug_vcpus(1)
+        four = controller.hotplug_vcpus(4)
+        assert four > one

@@ -1,0 +1,117 @@
+"""Tests for the VMM event-loop model (QEMU's main_loop_wait, Figure 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms.vmm_loop import VmmEventLoop, loop_for
+from repro.simcore.engine import Simulator, Timeout, Wait
+from repro.units import us
+
+
+class TestVmmEventLoop:
+    def test_single_event_handled(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim)
+
+        def poster():
+            done = loop.post("fd", us(3.0))
+            finished_at = yield Wait(done)
+            return finished_at
+
+        finished_at = sim.run_process(poster())
+        assert finished_at == pytest.approx(loop.wakeup_cost_s + us(3.0))
+        assert loop.events_handled == 1
+        assert loop.iterations == 1
+
+    def test_burst_batches_into_few_iterations(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim, max_batch=64)
+
+        def poster():
+            events = [loop.post("fd", us(1.0)) for _ in range(20)]
+            for event in events:
+                yield Wait(event)
+
+        sim.run_process(poster())
+        assert loop.events_handled == 20
+        # The first wakeup grabs one event; the rest arrive while it is
+        # being handled and drain in very few further iterations.
+        assert loop.iterations <= 3
+
+    def test_busy_loop_adds_dispatch_latency(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim)
+
+        def poster():
+            first = loop.post("fd", us(50.0))
+            second = loop.post("timer", us(1.0))
+            yield Wait(first)
+            yield Wait(second)
+
+        sim.run_process(poster())
+        # The timer event waited behind the 50us fd handler.
+        assert loop.mean_dispatch_latency > us(20.0)
+
+    def test_all_event_kinds_accepted(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim)
+
+        def poster():
+            for kind in ("fd", "timer", "bottom-half"):
+                yield Wait(loop.post(kind, us(0.5)))
+
+        sim.run_process(poster())
+        assert loop.events_handled == 3
+
+    def test_unknown_kind_rejected(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim)
+        with pytest.raises(ConfigurationError):
+            loop.post("interrupt", us(1.0))
+
+    def test_negative_handler_cost_rejected(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim)
+        with pytest.raises(ConfigurationError):
+            loop.post("fd", -1.0)
+
+    def test_sustainable_rate_amortizes_wakeup(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim, wakeup_cost_s=us(2.0), max_batch=32)
+        rate = loop.sustainable_event_rate(us(1.0))
+        assert 1.0 / us(1.0 + 2.0) < rate < 1.0 / us(1.0)
+
+    def test_events_interleave_with_other_processes(self):
+        sim = Simulator()
+        loop = VmmEventLoop(sim)
+        handled_times = []
+
+        def poster():
+            for index in range(3):
+                yield Timeout(us(100.0))
+                done = loop.post("fd", us(2.0))
+                finished_at = yield Wait(done)
+                handled_times.append(finished_at)
+
+        sim.run_process(poster())
+        assert len(handled_times) == 3
+        assert handled_times == sorted(handled_times)
+
+
+class TestLoopFactory:
+    def test_known_vmms(self):
+        sim = Simulator()
+        assert loop_for(sim, "qemu").name == "main_loop_wait"
+        assert loop_for(sim, "firecracker").name == "fc-epoll"
+        assert loop_for(sim, "cloud-hypervisor").name == "clh-epoll"
+
+    def test_qemu_heavier_wakeup_bigger_batches(self):
+        sim = Simulator()
+        qemu = loop_for(sim, "qemu")
+        firecracker = loop_for(sim, "firecracker")
+        assert qemu.wakeup_cost_s > firecracker.wakeup_cost_s
+        assert qemu.max_batch > firecracker.max_batch
+
+    def test_unknown_vmm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loop_for(Simulator(), "xen")

@@ -1,0 +1,53 @@
+"""Tests for the per-workload HAP breakdown extension."""
+
+import pytest
+
+from repro.kernel.functions import KernelFunctionCatalog, Subsystem
+from repro.platforms import get_platform
+from repro.security.hap import measure_hap, measure_hap_per_workload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return KernelFunctionCatalog()
+
+
+class TestPerWorkloadBreakdown:
+    def test_breakdown_covers_all_workloads(self, catalog):
+        breakdown = measure_hap_per_workload(get_platform("docker"), catalog)
+        assert set(breakdown) == {
+            "sysbench-cpu", "sysbench-memory", "sysbench-fileio",
+            "iperf3", "boot-shutdown",
+        }
+
+    def test_each_workload_bounded_by_union(self, catalog):
+        platform = get_platform("qemu")
+        union = measure_hap(platform, catalog)
+        breakdown = measure_hap_per_workload(platform, catalog)
+        for score in breakdown.values():
+            assert score.unique_functions <= union.unique_functions
+
+    def test_network_workload_dominates_gvisor_bridge_exposure(self, catalog):
+        breakdown = measure_hap_per_workload(get_platform("gvisor"), catalog)
+        iperf = breakdown["iperf3"].by_subsystem.get(Subsystem.BRIDGE, 0)
+        cpu = breakdown["sysbench-cpu"].by_subsystem.get(Subsystem.BRIDGE, 0)
+        assert iperf > cpu
+
+    def test_boot_workload_reveals_kata_vsock(self, catalog):
+        breakdown = measure_hap_per_workload(get_platform("kata"), catalog)
+        assert Subsystem.VSOCK in breakdown["boot-shutdown"].by_subsystem
+        assert Subsystem.VSOCK not in breakdown["sysbench-cpu"].by_subsystem
+
+    def test_fileio_widens_container_vfs(self, catalog):
+        breakdown = measure_hap_per_workload(get_platform("docker"), catalog)
+        fileio_vfs = breakdown["sysbench-fileio"].by_subsystem.get(Subsystem.VFS, 0)
+        network_vfs = breakdown["iperf3"].by_subsystem.get(Subsystem.VFS, 0)
+        assert fileio_vfs > network_vfs
+
+    def test_union_is_max_not_sum(self, catalog):
+        """Breadth prefixes overlap: the union is far below the sum."""
+        platform = get_platform("firecracker")
+        union = measure_hap(platform, catalog)
+        breakdown = measure_hap_per_workload(platform, catalog)
+        total = sum(score.unique_functions for score in breakdown.values())
+        assert union.unique_functions < total

@@ -1,0 +1,97 @@
+"""Property-based tests for the simulation engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore.engine import Simulator, Timeout
+from repro.simcore.event import EventQueue
+from repro.simcore.resources import Resource, TokenBucket
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_event_queue_pops_in_nondecreasing_time_order(times):
+    queue = EventQueue()
+    for time in times:
+        queue.push(time, lambda: None)
+    popped = []
+    while (entry := queue.pop()) is not None:
+        popped.append(entry.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_sequential_timeouts_sum_exactly(delays):
+    sim = Simulator()
+
+    def body():
+        for delay in delays:
+            yield Timeout(delay)
+
+    sim.run_process(body())
+    assert abs(sim.now - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=15),
+)
+@settings(max_examples=40)
+def test_resource_makespan_bounds(capacity, durations):
+    """Makespan of a k-server queue is between work/k and total work."""
+    sim = Simulator()
+    resource = Resource(sim, capacity)
+
+    def body(duration):
+        yield from resource.acquire()
+        yield Timeout(duration)
+        resource.release()
+
+    for duration in durations:
+        sim.spawn(body(duration))
+    sim.run()
+    total = sum(durations)
+    longest = max(durations)
+    assert sim.now >= max(total / capacity, longest) - 1e-9
+    assert sim.now <= total + 1e-9
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e6),
+    st.lists(st.floats(min_value=1e-3, max_value=1e4), min_size=1, max_size=20),
+)
+@settings(max_examples=40)
+def test_token_bucket_never_exceeds_rate(rate, amounts):
+    """Aggregate throughput never exceeds the configured rate.
+
+    Amounts are bounded away from zero: sub-normal transfers underflow the
+    per-transfer duration to zero, which is physically meaningless.
+    """
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate)
+
+    def body():
+        for amount in amounts:
+            yield from bucket.transfer(amount)
+
+    sim.run_process(body())
+    total = sum(amounts)
+    observed_rate = total / sim.now
+    assert observed_rate <= rate * (1.0 + 1e-6)
+
+
+@given(st.integers(min_value=1, max_value=30))
+@settings(max_examples=30)
+def test_spawn_order_is_execution_order_at_time_zero(count):
+    sim = Simulator()
+    order = []
+
+    def body(tag):
+        order.append(tag)
+        yield Timeout(0.0)
+
+    for tag in range(count):
+        sim.spawn(body(tag))
+    sim.run()
+    assert order == list(range(count))

@@ -1,0 +1,211 @@
+"""Tests for Resource, Store, and TokenBucket."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Simulator, Timeout
+from repro.simcore.resources import Resource, Store, TokenBucket
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_acquire_release_cycle(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+
+        def body():
+            yield from resource.acquire()
+            assert resource.in_use == 1
+            resource.release()
+            assert resource.in_use == 0
+
+        sim.run_process(body())
+
+    def test_release_idle_resource_is_error(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_contention_serializes_holders(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        spans = []
+
+        def body(tag):
+            yield from resource.acquire()
+            start = sim.now
+            yield Timeout(1.0)
+            resource.release()
+            spans.append((tag, start, sim.now))
+
+        for tag in range(3):
+            sim.spawn(body(tag))
+        sim.run()
+        # Three unit-length holds on one server take 3 time units total.
+        assert sim.now == pytest.approx(3.0)
+        # No two holds overlap.
+        ordered = sorted(spans, key=lambda s: s[1])
+        for (_, _, end_a), (_, start_b, _) in zip(ordered, ordered[1:]):
+            assert start_b >= end_a - 1e-12
+
+    def test_capacity_two_allows_overlap(self):
+        sim = Simulator()
+        resource = Resource(sim, 2)
+
+        def body():
+            yield from resource.acquire()
+            yield Timeout(1.0)
+            resource.release()
+
+        for _ in range(4):
+            sim.spawn(body())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_fifo_wakeup_order(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+        acquired = []
+
+        def holder():
+            yield from resource.acquire()
+            yield Timeout(1.0)
+            resource.release()
+
+        def waiter(tag):
+            yield from resource.acquire()
+            acquired.append(tag)
+            resource.release()
+
+        sim.spawn(holder())
+        for tag in range(5):
+            sim.spawn(waiter(tag))
+        sim.run()
+        assert acquired == [0, 1, 2, 3, 4]
+
+    def test_statistics_accumulate(self):
+        sim = Simulator()
+        resource = Resource(sim, 1)
+
+        def body():
+            yield from resource.acquire()
+            yield Timeout(2.0)
+            resource.release()
+
+        sim.spawn(body())
+        sim.spawn(body())
+        sim.run()
+        assert resource.total_acquisitions == 2
+        assert resource.total_wait_time == pytest.approx(2.0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+
+        def body():
+            item = yield from store.get()
+            return item
+
+        assert sim.run_process(body()) == "item"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            yield Timeout(3.0)
+            store.put("late")
+
+        def consumer():
+            item = yield from store.get()
+            return (item, sim.now)
+
+        sim.spawn(producer())
+        process = sim.spawn(consumer())
+        sim.run()
+        assert process.result == ("late", pytest.approx(3.0))
+
+    def test_fifo_ordering_of_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for index in range(3):
+            store.put(index)
+
+        def body():
+            items = []
+            for _ in range(3):
+                item = yield from store.get()
+                items.append(item)
+            return items
+
+        assert sim.run_process(body()) == [0, 1, 2]
+
+    def test_len_reflects_queued_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestTokenBucket:
+    def test_rate_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            TokenBucket(sim, 0.0)
+
+    def test_single_transfer_duration(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=100.0)
+
+        def body():
+            yield from bucket.transfer(250.0)
+
+        sim.run_process(body())
+        assert sim.now == pytest.approx(2.5)
+
+    def test_concurrent_transfers_serialize(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=100.0)
+
+        def body():
+            yield from bucket.transfer(100.0)
+
+        sim.spawn(body())
+        sim.spawn(body())
+        sim.run()
+        # Two 1-second reservations back to back on the shared channel.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_negative_amount_rejected(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=10.0)
+        with pytest.raises(SimulationError):
+            bucket.reserve(-1.0)
+
+    def test_total_bytes_accounting(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=10.0)
+        bucket.reserve(30.0)
+        bucket.reserve(20.0)
+        assert bucket.total_bytes == 50
+
+    def test_idle_gap_resets_start_time(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=100.0)
+
+        def body():
+            yield from bucket.transfer(100.0)  # finishes at t=1
+            yield Timeout(5.0)                 # idle until t=6
+            yield from bucket.transfer(100.0)  # finishes at t=7
+
+        sim.run_process(body())
+        assert sim.now == pytest.approx(7.0)

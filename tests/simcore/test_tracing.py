@@ -1,0 +1,45 @@
+"""Tests for the simulation trace log."""
+
+from repro.simcore.tracing import SimTrace
+
+
+class TestSimTrace:
+    def test_emit_and_iterate(self):
+        trace = SimTrace()
+        trace.emit(1.0, "nic", "packet", size=1500)
+        trace.emit(2.0, "disk", "read")
+        assert len(trace) == 2
+        records = list(trace)
+        assert records[0].source == "nic"
+        assert records[0].detail == {"size": 1500}
+
+    def test_disabled_trace_drops_records(self):
+        trace = SimTrace(enabled=False)
+        trace.emit(1.0, "nic", "packet")
+        assert len(trace) == 0
+
+    def test_filter_by_source(self):
+        trace = SimTrace()
+        trace.emit(1.0, "nic", "packet")
+        trace.emit(2.0, "disk", "read")
+        trace.emit(3.0, "nic", "drop")
+        assert len(trace.filter(source="nic")) == 2
+
+    def test_filter_by_event(self):
+        trace = SimTrace()
+        trace.emit(1.0, "nic", "packet")
+        trace.emit(2.0, "nic", "packet")
+        trace.emit(3.0, "nic", "drop")
+        assert trace.count(event="packet") == 2
+
+    def test_filter_by_both(self):
+        trace = SimTrace()
+        trace.emit(1.0, "nic", "packet")
+        trace.emit(2.0, "disk", "packet")
+        assert trace.count(source="disk", event="packet") == 1
+
+    def test_clear(self):
+        trace = SimTrace()
+        trace.emit(1.0, "nic", "packet")
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,145 @@
+"""Tests for the foundation modules: units, rng, errors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.rng import RngStream, derive_seed
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    gbit_per_s,
+    mib_per_s,
+    ms,
+    ns,
+    pretty_bytes,
+    pretty_duration,
+    seconds_to_ms,
+    seconds_to_ns,
+    seconds_to_us,
+    to_gbit_per_s,
+    to_mb_per_s,
+    to_mib_per_s,
+    us,
+)
+
+
+class TestUnits:
+    def test_binary_sizes(self):
+        assert KIB == 1024
+        assert MIB == 1024 ** 2
+        assert GIB == 1024 ** 3
+
+    def test_time_round_trips(self):
+        assert seconds_to_ms(ms(123.0)) == pytest.approx(123.0)
+        assert seconds_to_us(us(7.5)) == pytest.approx(7.5)
+        assert seconds_to_ns(ns(42.0)) == pytest.approx(42.0)
+
+    def test_bandwidth_round_trips(self):
+        assert to_gbit_per_s(gbit_per_s(37.28)) == pytest.approx(37.28)
+        assert to_mib_per_s(mib_per_s(1000.0)) == pytest.approx(1000.0)
+
+    def test_gbit_is_decimal(self):
+        assert gbit_per_s(8.0) == pytest.approx(1e9)
+
+    def test_mb_is_decimal(self):
+        assert to_mb_per_s(3.2e9) == pytest.approx(3200.0)
+
+    def test_pretty_bytes(self):
+        assert pretty_bytes(512) == "512 B"
+        assert pretty_bytes(2 * KIB) == "2.0 KiB"
+        assert pretty_bytes(int(2.2 * GIB)) == "2.2 GiB"
+
+    def test_pretty_duration(self):
+        assert pretty_duration(2.5) == "2.50 s"
+        assert pretty_duration(ms(1.5)) == "1.50 ms"
+        assert pretty_duration(us(20)) == "20.00 us"
+        assert pretty_duration(ns(80)) == "80.0 ns"
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        first = RngStream(42)
+        second = RngStream(42)
+        assert [first.uniform() for _ in range(5)] == [
+            second.uniform() for _ in range(5)
+        ]
+
+    def test_children_independent_of_sibling_creation_order(self):
+        a_first = RngStream(42).child("a").uniform()
+        root = RngStream(42)
+        root.child("z")
+        root.child("y")
+        assert root.child("a").uniform() == a_first
+
+    def test_children_differ_from_each_other(self):
+        root = RngStream(42)
+        assert root.child("a").uniform() != root.child("b").uniform()
+
+    def test_nested_paths(self):
+        root = RngStream(42)
+        direct = root.child("x").child("y").uniform()
+        again = RngStream(42).child("x").child("y").uniform()
+        assert direct == again
+
+    def test_children_helper(self):
+        root = RngStream(42)
+        streams = root.children(["a", "b"])
+        assert streams[0].path.endswith("/a")
+        assert streams[1].path.endswith("/b")
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "p") == derive_seed(1, "p")
+        assert derive_seed(1, "p") != derive_seed(2, "p")
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=40)
+    def test_gaussian_factor_positive_and_clipped(self, std):
+        rng = RngStream(7)
+        for _ in range(20):
+            factor = rng.gaussian_factor(std)
+            assert factor > 0
+            assert abs(factor - 1.0) <= 4.0 * std + 1e-12
+
+    def test_gaussian_factor_zero_std_is_identity(self):
+        assert RngStream(7).gaussian_factor(0.0) == 1.0
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=30)
+    def test_lognormal_factor_mean_near_one(self, sigma):
+        rng = RngStream(11)
+        draws = [rng.lognormal_factor(sigma) for _ in range(400)]
+        assert all(d > 0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 0.8 < mean < 1.25
+
+    def test_pareto_tail_usually_zero(self):
+        rng = RngStream(13)
+        draws = [rng.pareto_tail(0.05, 1.0) for _ in range(500)]
+        zero_fraction = sum(1 for d in draws if d == 0.0) / len(draws)
+        assert zero_fraction > 0.85
+        assert any(d > 1.0 for d in draws)
+
+    def test_integers_and_choice(self):
+        rng = RngStream(17)
+        assert 0 <= rng.integers(0, 10) < 10
+        assert rng.choice(["a", "b", "c"]) in ("a", "b", "c")
+
+    def test_exponential_positive(self):
+        assert RngStream(19).exponential(2.0) > 0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SimulationError, errors.ReproError)
+        assert issubclass(errors.UnsupportedOperationError, errors.PlatformError)
+        assert issubclass(errors.PlatformError, errors.ReproError)
+        assert issubclass(errors.BootError, errors.PlatformError)
+        assert issubclass(errors.WorkloadError, errors.ReproError)
+        assert issubclass(errors.TraceError, errors.ReproError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConfigurationError("bad config")

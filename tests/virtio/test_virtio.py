@@ -1,0 +1,139 @@
+"""Tests for the virtio transports and sharing protocols."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import KIB, MIB
+from repro.virtio.blk import VirtioBlk
+from repro.virtio.fs import VirtioFs
+from repro.virtio.net import VirtioNet
+from repro.virtio.ninep import NinePChannel
+from repro.virtio.queue import Virtqueue
+from repro.virtio.vsock import VsockChannel
+
+
+class TestVirtqueue:
+    def test_ring_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Virtqueue("vq", size=300)
+
+    def test_batching_amortizes_kick_cost(self):
+        queue = Virtqueue("vq", batch_size=16.0)
+        assert queue.per_request_cost(loaded=True) < queue.per_request_cost(loaded=False)
+
+    def test_ioeventfd_cheaper_than_userspace_bounce(self):
+        in_kernel = Virtqueue("vq", ioeventfd=True)
+        bounced = Virtqueue("vq", ioeventfd=False)
+        assert in_kernel.kick_cost() < bounced.kick_cost()
+
+    def test_round_trip_includes_kick_and_interrupt(self):
+        queue = Virtqueue("vq")
+        assert queue.round_trip_latency() > queue.kick_cost()
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Virtqueue("vq", batch_size=0.5)
+
+
+class TestVirtioBlk:
+    def test_latency_overhead_exceeds_loaded_overhead(self):
+        device = VirtioBlk()
+        assert device.request_latency_overhead() > device.per_request_overhead(loaded=True)
+
+    def test_immature_backend_costs_more(self):
+        mature = VirtioBlk(vmm_request_handling_s=3e-6)
+        immature = VirtioBlk(vmm_request_handling_s=20e-6)
+        assert immature.request_latency_overhead() > mature.request_latency_overhead()
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtioBlk(bandwidth_efficiency=0.0)
+
+
+class TestVirtioNet:
+    def test_per_packet_cost_positive(self):
+        assert VirtioNet().per_packet_queue_cost() > 0
+
+    def test_efficiency_scales_costs(self):
+        tuned = VirtioNet(datapath_efficiency=1.0)
+        rough = VirtioNet(datapath_efficiency=0.5)
+        assert rough.per_packet_queue_cost() == pytest.approx(
+            2 * tuned.per_packet_queue_cost()
+        )
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtioNet(datapath_efficiency=1.5)
+
+
+class TestNinePChannel:
+    def test_every_operation_pays_round_trips(self):
+        channel = NinePChannel()
+        assert channel.operation_latency(0) >= channel.rpc_amplification * (
+            channel.rpc_round_trip()
+        ) - 1e-12
+
+    def test_large_payloads_chunked_by_msize(self):
+        channel = NinePChannel()
+        small = channel.operation_latency(4 * KIB)
+        large = channel.operation_latency(4 * MIB)
+        assert large > small
+        # 4 MiB at msize 512 KiB = 8 chunks = 7 extra round trips.
+        extra_chunks = 4 * MIB // channel.msize_bytes - 1
+        assert large - small > extra_chunks * channel.rpc_round_trip() * 0.9
+
+    def test_streaming_bandwidth_well_below_nvme(self):
+        """The root cause of Figure 9's gVisor/Kata results."""
+        channel = NinePChannel()
+        assert channel.streaming_bandwidth() < 2.0e9  # < 2 GB/s vs 3.2 GB/s NVMe
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NinePChannel().operation_latency(-1)
+
+    def test_tiny_msize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NinePChannel(msize_bytes=1024)
+
+    def test_invalid_amplification_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NinePChannel(rpc_amplification=0.5)
+
+
+class TestVirtioFs:
+    def test_cheaper_per_op_than_ninep(self):
+        """Finding 7: virtio-fs significantly outperforms 9p."""
+        assert VirtioFs().operation_latency(4 * KIB) < NinePChannel().operation_latency(4 * KIB)
+
+    def test_streams_faster_than_ninep(self):
+        assert VirtioFs().streaming_bandwidth() > 2.0 * NinePChannel().streaming_bandwidth()
+
+    def test_dax_reduces_copy_cost(self):
+        with_dax = VirtioFs(dax_enabled=True)
+        without = VirtioFs(dax_enabled=False)
+        assert with_dax.operation_latency(1 * MIB) < without.operation_latency(1 * MIB)
+        assert with_dax.streaming_bandwidth() > without.streaming_bandwidth()
+
+    def test_invalid_dax_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtioFs(dax_hit_ratio=1.5)
+
+
+class TestVsock:
+    def test_rpc_latency_includes_ttrpc_overhead(self):
+        channel = VsockChannel()
+        assert channel.rpc_latency() == pytest.approx(
+            channel.round_trip_s + channel.rpc_overhead_s
+        )
+
+    def test_handshake_scales_with_rpc_count(self):
+        channel = VsockChannel()
+        assert channel.handshake_cost(10) > channel.handshake_cost(2)
+
+    def test_negative_rpc_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VsockChannel().handshake_cost(-1)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VsockChannel(connect_cost_s=-1.0)

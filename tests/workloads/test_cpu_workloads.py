@@ -1,0 +1,84 @@
+"""Tests for the ffmpeg and sysbench-CPU workloads (Figure 5 / Finding 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms import get_platform
+from repro.workloads.ffmpeg import PRESET_WORK_FACTOR, FfmpegEncodeWorkload
+from repro.workloads.sysbench_cpu import SysbenchCpuWorkload
+
+
+class TestFfmpeg:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FfmpegEncodeWorkload(preset="turbo")
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FfmpegEncodeWorkload(threads=0)
+
+    def test_native_encode_time_near_65s(self, rng):
+        """Figure 5: most runs end up around 65000 ms."""
+        result = FfmpegEncodeWorkload().run(get_platform("native"), rng)
+        assert 58_000 < result.encode_time_ms < 72_000
+
+    def test_containers_match_native(self, rng):
+        native = FfmpegEncodeWorkload().run(get_platform("native"), rng.child("n"))
+        docker = FfmpegEncodeWorkload().run(get_platform("docker"), rng.child("d"))
+        assert abs(docker.encode_time_s - native.encode_time_s) / native.encode_time_s < 0.08
+
+    def test_osv_is_severe_outlier(self, rng):
+        """Figure 5: OSv takes significantly more time."""
+        native = FfmpegEncodeWorkload().run(get_platform("native"), rng.child("n"))
+        osv = FfmpegEncodeWorkload().run(get_platform("osv"), rng.child("o"))
+        assert osv.encode_time_s > 1.3 * native.encode_time_s
+
+    def test_faster_preset_is_faster(self, rng):
+        slow = FfmpegEncodeWorkload(preset="slower").run(get_platform("native"), rng.child("a"))
+        fast = FfmpegEncodeWorkload(preset="fast").run(get_platform("native"), rng.child("b"))
+        assert fast.encode_time_s < 0.5 * slow.encode_time_s
+
+    def test_threads_clamped_to_vcpus(self, rng):
+        result = FfmpegEncodeWorkload(threads=64).run(get_platform("docker"), rng)
+        assert result.threads == 16
+
+    def test_more_threads_faster_on_native(self, rng):
+        one = FfmpegEncodeWorkload(threads=1).run(get_platform("native"), rng.child("1"))
+        sixteen = FfmpegEncodeWorkload(threads=16).run(get_platform("native"), rng.child("16"))
+        assert sixteen.encode_time_s < one.encode_time_s / 8
+
+    def test_preset_factors_ordered(self):
+        assert (
+            PRESET_WORK_FACTOR["ultrafast"]
+            < PRESET_WORK_FACTOR["medium"]
+            < PRESET_WORK_FACTOR["slower"]
+            < PRESET_WORK_FACTOR["veryslow"]
+        )
+
+
+class TestSysbenchCpu:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SysbenchCpuWorkload(max_prime=1)
+        with pytest.raises(ConfigurationError):
+            SysbenchCpuWorkload(events=0)
+
+    def test_all_platforms_nearly_equivalent(self, rng):
+        """Finding 1: prime verification shows no platform overhead."""
+        workload = SysbenchCpuWorkload()
+        rates = {}
+        for name in ("native", "docker", "qemu", "firecracker", "gvisor", "osv", "kata"):
+            result = workload.run(get_platform(name), rng.child(name))
+            rates[name] = result.events_per_second
+        spread = (max(rates.values()) - min(rates.values())) / max(rates.values())
+        assert spread < 0.05, rates
+
+    def test_larger_primes_take_longer(self, rng):
+        small = SysbenchCpuWorkload(max_prime=1_000).run(get_platform("native"), rng.child("s"))
+        large = SysbenchCpuWorkload(max_prime=50_000).run(get_platform("native"), rng.child("l"))
+        assert large.total_time_s > small.total_time_s
+
+    def test_events_per_second_consistent_with_total_time(self, rng):
+        workload = SysbenchCpuWorkload(events=5_000)
+        result = workload.run(get_platform("native"), rng)
+        assert result.events_per_second == pytest.approx(5_000 / result.total_time_s)

@@ -1,0 +1,105 @@
+"""Tests for tinymembench and STREAM (Figures 6-8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.platforms import get_platform
+from repro.workloads.stream import StreamWorkload
+from repro.workloads.tinymembench import (
+    TinymembenchLatencyWorkload,
+    TinymembenchThroughputWorkload,
+)
+
+
+class TestTinymembenchLatency:
+    def test_invalid_buffer_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TinymembenchLatencyWorkload(buffer_exponents=())
+        with pytest.raises(ConfigurationError):
+            TinymembenchLatencyWorkload(buffer_exponents=(50,))
+
+    def test_latency_grows_with_buffer_size(self, rng):
+        """Figure 6: the larger the buffer, the higher the latency."""
+        points = TinymembenchLatencyWorkload().run(get_platform("native"), rng)
+        assert points[-1].extra_latency_ns > 5 * points[0].extra_latency_ns
+
+    def test_firecracker_is_worst_at_large_buffers(self, rng):
+        """Finding 4."""
+        workload = TinymembenchLatencyWorkload()
+        last = {}
+        for name in ("native", "docker", "qemu", "firecracker", "cloud-hypervisor", "kata"):
+            points = workload.run(get_platform(name), rng.child(name))
+            last[name] = points[-1].extra_latency_ns
+        assert last["firecracker"] == max(last.values())
+        assert last["cloud-hypervisor"] > 1.15 * last["native"]
+        assert last["kata"] < 1.15 * last["native"]  # Finding 3
+        assert last["qemu"] < 1.15 * last["native"]
+
+    def test_small_buffers_unaffected_by_hypervisor(self, rng):
+        """The vm-memory penalty applies to DRAM-bound accesses only."""
+        workload = TinymembenchLatencyWorkload(buffer_exponents=(16,))
+        native = workload.run(get_platform("native"), rng.child("n"))[0]
+        firecracker = workload.run(get_platform("firecracker"), rng.child("f"))[0]
+        assert firecracker.extra_latency_ns < 1.6 * max(native.extra_latency_ns, 1.0)
+
+    def test_hugepages_reduce_latency(self, rng):
+        regular = TinymembenchLatencyWorkload().run(get_platform("native"), rng.child("r"))
+        huge = TinymembenchLatencyWorkload(huge_pages=True).run(
+            get_platform("native"), rng.child("h")
+        )
+        assert huge[-1].extra_latency_ns < regular[-1].extra_latency_ns
+
+    def test_kata_rejects_hugepages(self):
+        """Section 3.2: Kata containers do not support hugepages."""
+        workload = TinymembenchLatencyWorkload(huge_pages=True)
+        with pytest.raises(UnsupportedOperationError):
+            workload.check_supported(get_platform("kata"))
+
+    def test_point_count_matches_exponents(self, rng):
+        points = TinymembenchLatencyWorkload().run(get_platform("native"), rng)
+        assert len(points) == 11  # 2^16 .. 2^26
+
+
+class TestTinymembenchThroughput:
+    def test_sse2_faster_than_regular(self, rng):
+        result = TinymembenchThroughputWorkload().run(get_platform("native"), rng)
+        assert result.sse2_copy_bytes_per_s > result.copy_bytes_per_s * 0.98
+
+    def test_hypervisors_lose_throughput(self, rng):
+        workload = TinymembenchThroughputWorkload()
+        native = workload.run(get_platform("native"), rng.child("n"))
+        qemu = workload.run(get_platform("qemu"), rng.child("q"))
+        firecracker = workload.run(get_platform("firecracker"), rng.child("f"))
+        assert qemu.copy_bytes_per_s < 0.92 * native.copy_bytes_per_s
+        assert firecracker.copy_bytes_per_s < 0.88 * native.copy_bytes_per_s
+
+    def test_kata_throughput_near_native(self, rng):
+        """Finding 3: Kata is not significantly impaired."""
+        workload = TinymembenchThroughputWorkload()
+        native = workload.run(get_platform("native"), rng.child("n"))
+        kata = workload.run(get_platform("kata"), rng.child("k"))
+        assert kata.copy_bytes_per_s > 0.93 * native.copy_bytes_per_s
+
+
+class TestStream:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamWorkload(allocation_bytes=0)
+        with pytest.raises(ConfigurationError):
+            StreamWorkload(inner_trials=0)
+
+    def test_reports_best_of_trials(self, rng):
+        """STREAM reports max; more trials can only help."""
+        one = StreamWorkload(inner_trials=1).run(get_platform("native"), rng.child("x"))
+        ten = StreamWorkload(inner_trials=10).run(get_platform("native"), rng.child("x"))
+        assert ten.copy_bytes_per_s >= one.copy_bytes_per_s
+
+    def test_ranking_matches_tinymembench(self, rng):
+        workload = StreamWorkload()
+        values = {
+            name: workload.run(get_platform(name), rng.child(name)).copy_bytes_per_s
+            for name in ("native", "qemu", "firecracker", "kata", "cloud-hypervisor")
+        }
+        assert values["firecracker"] == min(values.values())
+        assert values["kata"] > 0.95 * values["native"]
+        assert values["qemu"] < values["cloud-hypervisor"]  # QEMU trades throughput

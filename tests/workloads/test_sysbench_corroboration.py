@@ -1,0 +1,126 @@
+"""Tests for the sysbench memory/fileio workloads and DES cross-validation.
+
+These workloads are the tracing drivers of Section 4; as performance
+workloads they must *corroborate* the tinymembench/fio figures — same
+profiles, same ordering.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.platforms import get_platform
+from repro.workloads.iperf import IperfWorkload
+from repro.workloads.sysbench_fileio import SysbenchFileioWorkload
+from repro.workloads.sysbench_memory import SysbenchMemoryWorkload
+
+
+class TestSysbenchMemory:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SysbenchMemoryWorkload(mode="diagonal")
+        with pytest.raises(ConfigurationError):
+            SysbenchMemoryWorkload(operation="xor")
+        with pytest.raises(ConfigurationError):
+            SysbenchMemoryWorkload(block_bytes=0)
+
+    def test_sequential_faster_than_random(self, rng):
+        seq = SysbenchMemoryWorkload(mode="seq").run(get_platform("native"), rng.child("s"))
+        rnd = SysbenchMemoryWorkload(mode="rnd").run(get_platform("native"), rng.child("r"))
+        # 1 KiB blocks amortize the random-access latency over a streaming
+        # burst, so the gap is a factor, not an order of magnitude.
+        assert seq.throughput_bytes_per_s > 1.5 * rnd.throughput_bytes_per_s
+
+    def test_small_random_blocks_are_latency_dominated(self, rng):
+        small = SysbenchMemoryWorkload(mode="rnd", block_bytes=64).run(
+            get_platform("native"), rng.child("64")
+        )
+        large = SysbenchMemoryWorkload(mode="rnd", block_bytes=64 * 1024).run(
+            get_platform("native"), rng.child("64k")
+        )
+        assert large.throughput_bytes_per_s > 5 * small.throughput_bytes_per_s
+
+    def test_random_mode_corroborates_figure6(self, rng):
+        """Random-access ranking must match tinymembench latency."""
+        workload = SysbenchMemoryWorkload(mode="rnd")
+        rates = {
+            name: workload.run(get_platform(name), rng.child(name)).throughput_bytes_per_s
+            for name in ("native", "firecracker", "cloud-hypervisor", "kata")
+        }
+        assert rates["firecracker"] == min(rates.values())
+        assert rates["kata"] > 0.85 * rates["native"]
+
+    def test_sequential_mode_corroborates_figure7(self, rng):
+        workload = SysbenchMemoryWorkload(mode="seq")
+        native = workload.run(get_platform("native"), rng.child("n"))
+        qemu = workload.run(get_platform("qemu"), rng.child("q"))
+        assert qemu.throughput_bytes_per_s < 0.92 * native.throughput_bytes_per_s
+
+    def test_reads_slightly_faster_than_writes_sequentially(self, rng):
+        read = SysbenchMemoryWorkload(mode="seq", operation="read").run(
+            get_platform("native"), rng.child("same")
+        )
+        write = SysbenchMemoryWorkload(mode="seq", operation="write").run(
+            get_platform("native"), rng.child("same")
+        )
+        assert read.throughput_bytes_per_s > write.throughput_bytes_per_s
+
+
+class TestSysbenchFileio:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SysbenchFileioWorkload(test_mode="zigzag")
+
+    def test_runs_on_firecracker_rootfs(self, rng):
+        """Unlike fio, sysbench fileio needs no extra drive — the HAP
+        campaign traces it on Firecracker too."""
+        result = SysbenchFileioWorkload("rndrd").run(get_platform("firecracker"), rng)
+        assert result.throughput_bytes_per_s > 0
+
+    def test_osv_still_excluded(self, rng):
+        with pytest.raises(UnsupportedOperationError):
+            SysbenchFileioWorkload("rndrd").run(get_platform("osv"), rng)
+
+    def test_random_read_corroborates_figure10(self, rng):
+        workload = SysbenchFileioWorkload("rndrd")
+        rates = {
+            name: workload.run(get_platform(name), rng.child(name)).throughput_bytes_per_s
+            for name in ("native", "qemu", "kata")
+        }
+        assert rates["native"] > rates["qemu"] > rates["kata"]
+
+    def test_sequential_read_corroborates_figure9(self, rng):
+        workload = SysbenchFileioWorkload("seqrd")
+        native = workload.run(get_platform("native"), rng.child("n"))
+        gvisor = workload.run(get_platform("gvisor"), rng.child("g"))
+        assert gvisor.throughput_bytes_per_s < 0.62 * native.throughput_bytes_per_s
+
+    def test_fsync_pressure_reduces_write_throughput(self, rng):
+        relaxed = SysbenchFileioWorkload("rndwr", fsync_frequency=0).run(
+            get_platform("native"), rng.child("x")
+        )
+        fsynced = SysbenchFileioWorkload("rndwr", fsync_frequency=10).run(
+            get_platform("native"), rng.child("x")
+        )
+        assert fsynced.throughput_bytes_per_s < relaxed.throughput_bytes_per_s
+        assert fsynced.fsyncs_per_second > 0
+
+    def test_sequential_faster_than_random(self, rng):
+        seq = SysbenchFileioWorkload("seqrd").run(get_platform("native"), rng.child("a"))
+        rnd = SysbenchFileioWorkload("rndrd").run(get_platform("native"), rng.child("b"))
+        assert seq.throughput_bytes_per_s > 5 * rnd.throughput_bytes_per_s
+
+
+class TestIperfDesCrossValidation:
+    """The packet-level simulation must agree with the analytic model."""
+
+    @pytest.mark.parametrize("name", ["native", "docker", "qemu", "gvisor", "osv"])
+    def test_des_matches_analytic_within_tolerance(self, rng, name):
+        platform = get_platform(name)
+        workload = IperfWorkload()
+        analytic = workload.run(platform, rng.child("a")).throughput_bytes_per_s
+        simulated = workload.run_simulated(platform, rng.child("d")).throughput_bytes_per_s
+        assert simulated == pytest.approx(analytic, rel=0.15)
+
+    def test_invalid_simulation_parameters_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            IperfWorkload().run_simulated(get_platform("native"), rng, sim_duration_s=0)
