@@ -1,0 +1,87 @@
+"""CI benchmark smoke: serial vs. process-pool determinism gate.
+
+Runs a small figure subset through ``BenchmarkSuite(quick=True)`` twice —
+once on the serial backend and once across a process pool — asserts the
+summaries are bit-identical, then archives the parallel run's JSON +
+manifest as the CI artifact. The emitted ``BENCH_smoke.json`` records
+per-backend wall times, seeding the repo's performance trajectory.
+
+Usage::
+
+    python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+# Allow running from a checkout without installation.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.suite import BenchmarkSuite  # noqa: E402
+
+#: Small, fast subset spanning bar figures, series figures, and the
+#: deterministic HAP table.
+SMOKE_FIGURES = ["cpu-prime", "fig11", "fig12", "fig17", "fig18"]
+
+
+def run_backend(seed: int, jobs: int, figures: list[str]) -> tuple[BenchmarkSuite, float]:
+    suite = BenchmarkSuite(seed=seed, quick=True, jobs=jobs)
+    started = time.perf_counter()
+    suite.run_all(figures)
+    return suite, time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=2, help="pool width for the parallel leg")
+    parser.add_argument("--out", default="bench-artifacts", help="artifact directory")
+    parser.add_argument(
+        "--figures", nargs="*", default=SMOKE_FIGURES, help="figure subset to exercise"
+    )
+    args = parser.parse_args(argv)
+
+    serial_suite, serial_wall = run_backend(args.seed, 1, args.figures)
+    parallel_suite, parallel_wall = run_backend(args.seed, args.jobs, args.figures)
+
+    mismatches = []
+    for figure_id in args.figures:
+        serial = serial_suite.run_figure(figure_id).comparable_dict()
+        parallel = parallel_suite.run_figure(figure_id).comparable_dict()
+        if serial != parallel:
+            mismatches.append(figure_id)
+    status = "ok" if not mismatches else f"MISMATCH: {', '.join(mismatches)}"
+    print(
+        f"smoke[{','.join(args.figures)}] seed={args.seed} "
+        f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s -> {status}"
+    )
+
+    out = pathlib.Path(args.out)
+    parallel_suite.save_results(out)
+    (out / "BENCH_smoke.json").write_text(
+        json.dumps(
+            {
+                "seed": args.seed,
+                "figures": args.figures,
+                "serial_wall_s": round(serial_wall, 4),
+                "parallel_wall_s": round(parallel_wall, 4),
+                "jobs": args.jobs,
+                "identical": not mismatches,
+                "mismatches": mismatches,
+            },
+            indent=2,
+        )
+    )
+    print(f"archived artifacts to {out}/")
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,14 +42,25 @@ __all__ = [
     "RngStream",
     "__version__",
     "BenchmarkSuite",
+    "ExecutionPolicy",
+    "ExperimentScheduler",
+    "ResultStore",
 ]
+
+_LAZY_EXPORTS = {
+    "BenchmarkSuite": ("repro.core.suite", "BenchmarkSuite"),
+    "ExecutionPolicy": ("repro.core.scheduler", "ExecutionPolicy"),
+    "ExperimentScheduler": ("repro.core.scheduler", "ExperimentScheduler"),
+    "ResultStore": ("repro.core.store", "ResultStore"),
+}
 
 
 def __getattr__(name: str):
-    # Lazy import: keep `import repro` light while exposing the suite at
-    # top level.
-    if name == "BenchmarkSuite":
-        from repro.core.suite import BenchmarkSuite
+    # Lazy import: keep `import repro` light while exposing the execution
+    # layer (suite, scheduler, store) at top level.
+    if name in _LAZY_EXPORTS:
+        import importlib
 
-        return BenchmarkSuite
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attr)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -4,9 +4,9 @@ Installed as ``repro-bench``::
 
     repro-bench list                         # figures + experiment index
     repro-bench platforms                    # the platform roster
-    repro-bench run fig11 [--seed N] [--quick] [--json out/]
-    repro-bench run all   [--seed N] [--quick] [--json out/]
-    repro-bench findings  [--seed N]
+    repro-bench run fig11 [--seed N] [--quick] [--json out/] [--cache DIR]
+    repro-bench run all   [--seed N] [--quick] [--jobs 4] [--provenance]
+    repro-bench findings  [--seed N] [--cache DIR]
     repro-bench hap [platform ...]
 """
 
@@ -42,9 +42,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("figure", help="figure id (fig05..fig18, cpu-prime) or 'all'")
     run.add_argument("--quick", action="store_true", help="reduced repetitions")
     run.add_argument("--json", metavar="DIR", help="archive results as JSON")
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="execute figures across an N-worker process pool (default: serial)",
+    )
+    run.add_argument(
+        "--cache", metavar="DIR",
+        help="persistent result store; warm entries skip execution entirely",
+    )
+    run.add_argument(
+        "--provenance", action="store_true",
+        help="print backend/cache/wall-time for each figure",
+    )
 
     findings = subparsers.add_parser("findings", help="check the 28 findings")
     findings.add_argument("--full", action="store_true", help="paper-scale repetitions")
+    findings.add_argument(
+        "--cache", metavar="DIR",
+        help="persistent result store shared with 'run' (same seed/quick keys)",
+    )
 
     hap = subparsers.add_parser("hap", help="HAP + defense-in-depth audit")
     hap.add_argument("platforms", nargs="*", help="platform names (default: main roster)")
@@ -81,11 +97,20 @@ def _cmd_platforms() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    suite = BenchmarkSuite(seed=args.seed, quick=args.quick)
+    suite = BenchmarkSuite(
+        seed=args.seed, quick=args.quick, jobs=args.jobs, cache_dir=args.cache
+    )
     targets = suite.figure_ids() if args.figure == "all" else [args.figure]
+    results = suite.run_all(targets)
     for figure_id in targets:
-        figure = suite.run_figure(figure_id)
+        figure = results[figure_id]
         print(figure.render())
+        if args.provenance and figure.provenance:
+            p = figure.provenance
+            print(
+                f"[provenance] backend={p['backend']} cache={p['cache']} "
+                f"wall={p['wall_time_s']:.3f}s seed={p['seed']}"
+            )
         print()
     if args.json:
         written = suite.save_results(args.json)
@@ -94,7 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_findings(args: argparse.Namespace) -> int:
-    suite = BenchmarkSuite(seed=args.seed, quick=not args.full)
+    suite = BenchmarkSuite(seed=args.seed, quick=not args.full, cache_dir=args.cache)
     report = suite.findings_report()
     print(report)
     return 0 if report.startswith("Findings reproduced: 28/28") else 1

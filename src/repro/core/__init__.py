@@ -7,6 +7,8 @@
 * :mod:`repro.core.figures`    — one reproduction function per paper figure
 * :mod:`repro.core.report`     — ASCII rendering of tables and figures
 * :mod:`repro.core.findings`   — automated checks of the paper's findings
+* :mod:`repro.core.scheduler`  — parallel experiment scheduler + backends
+* :mod:`repro.core.store`      — persistent content-addressed result store
 * :mod:`repro.core.suite`      — the user-facing BenchmarkSuite facade
 """
 
@@ -14,6 +16,14 @@ from repro.core.stats import Summary, summarize, percentile, cdf_points
 from repro.core.results import FigureResult, ResultRow, SeriesRow
 from repro.core.experiment import Experiment, EXPERIMENTS, get_experiment
 from repro.core.runner import Runner
+from repro.core.scheduler import (
+    ExecutionPolicy,
+    ExperimentScheduler,
+    JobRecord,
+    SchedulerReport,
+    topological_batches,
+)
+from repro.core.store import ResultStore, StoreKey
 from repro.core.suite import BenchmarkSuite
 from repro.core.findings import FindingCheck, check_all_findings
 from repro.core.density import DensityModel, GuestFootprint
@@ -41,6 +51,13 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "Runner",
+    "ExecutionPolicy",
+    "ExperimentScheduler",
+    "JobRecord",
+    "SchedulerReport",
+    "topological_batches",
+    "ResultStore",
+    "StoreKey",
     "BenchmarkSuite",
     "FindingCheck",
     "check_all_findings",

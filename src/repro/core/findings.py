@@ -9,27 +9,15 @@ absolute values — exactly the reproduction criterion.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
-from repro.core.figures import (
-    cpu_prime_control,
-    fig05_ffmpeg,
-    fig06_memory_latency,
-    fig07_memory_throughput,
-    fig08_stream,
-    fig09_fio_throughput,
-    fig10_fio_latency,
-    fig11_iperf,
-    fig12_netperf,
-    fig13_container_boot,
-    fig14_hypervisor_boot,
-    fig15_osv_boot,
-    fig16_memcached,
-    fig17_mysql,
-    fig18_hap,
-)
+from repro.core.figures import FIGURES, run_figure
 from repro.core.results import FigureResult
 from repro.platforms import get_platform
 from repro.security.analysis import audit_platform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.core.suite import BenchmarkSuite
 
 __all__ = ["FindingCheck", "FindingsEvaluator", "check_all_findings"]
 
@@ -45,62 +33,67 @@ class FindingCheck:
 
 
 class FindingsEvaluator:
-    """Computes the figure set once and evaluates every finding."""
+    """Computes the figure set once and evaluates every finding.
 
-    def __init__(self, seed: int = 42, *, quick: bool = True) -> None:
+    With a ``suite``, figure access goes through
+    :meth:`~repro.core.suite.BenchmarkSuite.run_figure` so results are
+    shared with (and persisted by) the suite's scheduler/store layer;
+    without one, figures run directly through the registry.
+    """
+
+    #: Per-figure repetition overrides that differ from the quick/full reps.
+    _FIXED_OVERRIDES: dict[str, dict[str, Any]] = {
+        "fig11": {"repetitions": 5},
+        "fig12": {"repetitions": 5},
+        "fig16": {"repetitions": 3},
+        "fig17": {"repetitions": 3},
+        "fig18": {},
+    }
+
+    def __init__(
+        self,
+        seed: int = 42,
+        *,
+        quick: bool = True,
+        suite: "BenchmarkSuite | None" = None,
+    ) -> None:
         self.seed = seed
         # Quick mode trims repetitions: orderings are stable well below the
         # paper's counts thanks to the deterministic seed tree.
         self.reps = 5 if quick else 10
         self.startups = 60 if quick else 300
+        self._suite = suite
         self._cache: dict[str, FigureResult] = {}
 
     # --- figure access -------------------------------------------------------------
+
+    def overrides_for(self, figure_id: str) -> dict[str, Any]:
+        """The kwargs this evaluator runs ``figure_id`` with."""
+        if figure_id in self._FIXED_OVERRIDES:
+            return dict(self._FIXED_OVERRIDES[figure_id])
+        if figure_id in ("fig13", "fig14", "fig15"):
+            return {"startups": self.startups}
+        if figure_id == "fig09":
+            return {
+                "repetitions": self.reps,
+                "platforms": [
+                    "native", "docker", "lxc", "qemu", "cloud-hypervisor",
+                    "kata", "kata-virtiofs", "gvisor",
+                ],
+            }
+        return {"repetitions": self.reps}
 
     def figure(self, figure_id: str) -> FigureResult:
         """Compute (and cache) one figure."""
         if figure_id in self._cache:
             return self._cache[figure_id]
-        seed = self.seed
-        if figure_id == "fig05":
-            result = fig05_ffmpeg(seed, repetitions=self.reps)
-        elif figure_id == "cpu-prime":
-            result = cpu_prime_control(seed, repetitions=self.reps)
-        elif figure_id == "fig06":
-            result = fig06_memory_latency(seed, repetitions=self.reps)
-        elif figure_id == "fig07":
-            result = fig07_memory_throughput(seed, repetitions=self.reps)
-        elif figure_id == "fig08":
-            result = fig08_stream(seed, repetitions=self.reps)
-        elif figure_id == "fig09":
-            result = fig09_fio_throughput(
-                seed,
-                repetitions=self.reps,
-                platforms=[
-                    "native", "docker", "lxc", "qemu", "cloud-hypervisor",
-                    "kata", "kata-virtiofs", "gvisor",
-                ],
-            )
-        elif figure_id == "fig10":
-            result = fig10_fio_latency(seed, repetitions=self.reps)
-        elif figure_id == "fig11":
-            result = fig11_iperf(seed, repetitions=5)
-        elif figure_id == "fig12":
-            result = fig12_netperf(seed, repetitions=5)
-        elif figure_id == "fig13":
-            result = fig13_container_boot(seed, startups=self.startups)
-        elif figure_id == "fig14":
-            result = fig14_hypervisor_boot(seed, startups=self.startups)
-        elif figure_id == "fig15":
-            result = fig15_osv_boot(seed, startups=self.startups)
-        elif figure_id == "fig16":
-            result = fig16_memcached(seed, repetitions=3)
-        elif figure_id == "fig17":
-            result = fig17_mysql(seed, repetitions=3)
-        elif figure_id == "fig18":
-            result = fig18_hap(seed)
-        else:
+        if figure_id not in FIGURES:
             raise KeyError(figure_id)
+        overrides = self.overrides_for(figure_id)
+        if self._suite is not None:
+            result = self._suite.run_figure(figure_id, **overrides)
+        else:
+            result = run_figure(figure_id, self.seed, **overrides)
         self._cache[figure_id] = result
         return result
 

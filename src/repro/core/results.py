@@ -27,6 +27,17 @@ class ResultRow:
     unit: str
     extra: dict[str, float] = field(default_factory=dict)
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ResultRow":
+        """Rebuild a row from its :func:`dataclasses.asdict` form."""
+        return cls(
+            platform=payload["platform"],
+            label=payload["label"],
+            summary=Summary(**payload["summary"]),
+            unit=payload["unit"],
+            extra=dict(payload.get("extra", {})),
+        )
+
 
 @dataclass(frozen=True)
 class SeriesRow:
@@ -44,6 +55,18 @@ class SeriesRow:
             raise ValueError("x and y lengths differ")
         if self.y_err and len(self.y_err) != len(self.y_values):
             raise ValueError("y_err length differs from y")
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SeriesRow":
+        """Rebuild a series from its :func:`dataclasses.asdict` form."""
+        return cls(
+            platform=payload["platform"],
+            label=payload["label"],
+            x_values=tuple(payload["x_values"]),
+            y_values=tuple(payload["y_values"]),
+            y_err=tuple(payload.get("y_err", ())),
+            unit=payload.get("unit", ""),
+        )
 
 
 @dataclass
@@ -101,9 +124,36 @@ class FigureResult:
             "series": [asdict(series) for series in self.series],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FigureResult":
+        """Rebuild a result from :meth:`to_dict` output (store round-trip)."""
+        return cls(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            unit=payload["unit"],
+            rows=[ResultRow.from_dict(row) for row in payload.get("rows", [])],
+            series=[SeriesRow.from_dict(s) for s in payload.get("series", [])],
+            x_label=payload.get("x_label", ""),
+            notes=list(payload.get("notes", [])),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
     def to_json(self, indent: int = 2) -> str:
         """JSON text form."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    # --- provenance ---------------------------------------------------------------
+
+    @property
+    def provenance(self) -> dict[str, Any]:
+        """Execution provenance recorded by the scheduler (empty if none)."""
+        return dict(self.metadata.get("provenance", {}))
+
+    def comparable_dict(self) -> dict[str, Any]:
+        """The dict form minus provenance — equal across backends/caches."""
+        payload = self.to_dict()
+        payload.get("metadata", {}).pop("provenance", None)
+        return payload
 
     def render(self) -> str:
         """ASCII rendering (delegates to :mod:`repro.core.report`)."""

@@ -4,31 +4,60 @@ Runs a workload ``n`` times on a platform with independent per-repetition
 RNG streams (derived from ``figure/platform/rep-i``), extracts a scalar
 metric from each result, and summarizes. All figure reproductions go
 through this, so seed management is uniform and results are reproducible.
+
+Execution is separated from definition: every repetition's stream is
+derived *up-front* from the seed tree, so the repetitions are mutually
+independent and may be dispatched through any order-preserving ``mapper``
+(the built-in serial map by default; the scheduler layer supplies pool
+mappers). Results are bit-identical regardless of the mapper because no
+repetition's draws depend on another's.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.core.stats import Summary, summarize
 from repro.errors import ConfigurationError
 from repro.platforms.base import Platform
-from repro.rng import RngStream
+from repro.rng import RngStream, derive_seed
 from repro.workloads.base import Workload
 
 __all__ = ["Runner"]
+
+#: An order-preserving map strategy: ``mapper(fn, items) -> results``.
+Mapper = Callable[[Callable[[Any], Any], Iterable[Any]], Iterable[Any]]
+
+
+def _serial_map(fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+    return [fn(item) for item in items]
 
 
 class Runner:
     """Executes repeated workload runs under a derived seed tree."""
 
-    def __init__(self, seed: int, scope: str) -> None:
+    def __init__(self, seed: int, scope: str, *, mapper: Mapper | None = None) -> None:
         self.root = RngStream(seed, scope)
+        self._map: Mapper = mapper or _serial_map
+
+    @staticmethod
+    def job_seed(seed: int, scope: str) -> int:
+        """The derived identity of a job at ``scope`` in the seed tree."""
+        return derive_seed(seed, f"job/{scope}")
 
     def stream_for(self, platform: Platform, tag: str = "") -> RngStream:
         """The platform's stream within this runner's scope."""
         path = platform.name if not tag else f"{platform.name}/{tag}"
         return self.root.child(path)
+
+    def rep_streams(
+        self, platform: Platform, repetitions: int, tag: str = ""
+    ) -> list[RngStream]:
+        """One independent pre-derived stream per repetition."""
+        if repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        stream = self.stream_for(platform, tag)
+        return [stream.child(f"rep-{index}") for index in range(repetitions)]
 
     def repeat(
         self,
@@ -51,14 +80,10 @@ class Runner:
         tag: str = "",
     ) -> list[float]:
         """Run repeatedly and return the raw metric values."""
-        if repetitions < 1:
-            raise ConfigurationError("repetitions must be >= 1")
-        stream = self.stream_for(platform, tag)
-        values: list[float] = []
-        for index in range(repetitions):
-            result = workload.run(platform, stream.child(f"rep-{index}"))
-            values.append(float(metric(result)))
-        return values
+        return [
+            float(metric(result))
+            for result in self.collect_results(workload, platform, repetitions, tag)
+        ]
 
     def collect_results(
         self,
@@ -68,10 +93,5 @@ class Runner:
         tag: str = "",
     ) -> list[Any]:
         """Run repeatedly and return the full result objects."""
-        if repetitions < 1:
-            raise ConfigurationError("repetitions must be >= 1")
-        stream = self.stream_for(platform, tag)
-        return [
-            workload.run(platform, stream.child(f"rep-{index}"))
-            for index in range(repetitions)
-        ]
+        streams = self.rep_streams(platform, repetitions, tag)
+        return list(self._map(lambda stream: workload.run(platform, stream), streams))

@@ -1,0 +1,400 @@
+"""Parallel experiment scheduler.
+
+The figure registry defines *what* to run; this module decides *where and
+how*. An :class:`ExperimentScheduler` turns a set of figure ids into
+:class:`ExperimentJob` descriptions, batches them topologically by the
+``depends_on`` edges in the experiment registry, reads each job through
+the :class:`~repro.core.store.ResultStore`, and executes the misses on a
+backend chosen by :class:`ExecutionPolicy` — serially in-process, or
+across a ``concurrent.futures`` process pool.
+
+Determinism is preserved by construction: every figure function builds its
+own :class:`~repro.core.runner.Runner` seed subtree from ``(seed,
+figure_id)``, and each job additionally records its
+:func:`~repro.rng.derive_seed`-derived identity. No draw in one job can
+perturb another, so process-pool results are bit-identical to serial ones
+regardless of scheduling order.
+
+Jobs are crash-isolated: an exception in one figure is captured in its
+:class:`JobRecord` and the remaining jobs still run to completion.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.experiment import EXPERIMENTS
+from repro.core.figures import FIGURES, run_figure
+from repro.core.results import FigureResult
+from repro.core.runner import Runner
+from repro.core.store import ResultStore, StoreKey
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExecutionPolicy",
+    "ExperimentJob",
+    "JobRecord",
+    "SchedulerReport",
+    "ExperimentScheduler",
+    "topological_batches",
+    "quick_overrides",
+]
+
+BACKEND_SERIAL = "serial"
+BACKEND_PROCESS = "process"
+
+
+def quick_overrides(figure_id: str) -> dict[str, Any]:
+    """Reduced-repetition kwargs used by quick mode (single source of truth)."""
+    if figure_id in ("fig13", "fig14", "fig15"):
+        return {"startups": 60}
+    if figure_id in ("fig18",):
+        return {}
+    return {"repetitions": 3}
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How jobs execute: worker count and backend selection.
+
+    ``backend=None`` auto-selects: serial for one job slot, a process pool
+    otherwise. Serial stays the default everywhere; callers opt into the
+    pool via ``--jobs N`` / ``ExecutionPolicy(jobs=N)``.
+    """
+
+    jobs: int = 1
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.backend not in (None, BACKEND_SERIAL, BACKEND_PROCESS):
+            raise ConfigurationError(f"unknown backend {self.backend!r}")
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete backend this policy selects."""
+        if self.backend is not None:
+            return self.backend
+        return BACKEND_PROCESS if self.jobs > 1 else BACKEND_SERIAL
+
+    @classmethod
+    def serial(cls) -> "ExecutionPolicy":
+        return cls(jobs=1, backend=BACKEND_SERIAL)
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One schedulable figure execution (picklable)."""
+
+    figure_id: str
+    seed: int
+    kwargs: tuple[tuple[str, Any], ...]
+    job_seed: int
+
+    @classmethod
+    def build(cls, figure_id: str, seed: int, kwargs: dict[str, Any]) -> "ExperimentJob":
+        """Create a job; its identity seed comes from the shared seed tree."""
+        frozen = tuple(sorted(kwargs.items(), key=lambda item: item[0]))
+        return cls(
+            figure_id=figure_id,
+            seed=int(seed),
+            kwargs=_freeze_kwargs(frozen),
+            job_seed=Runner.job_seed(seed, figure_id),
+        )
+
+    def kwargs_dict(self) -> dict[str, Any]:
+        return {name: list(value) if isinstance(value, tuple) else value
+                for name, value in self.kwargs}
+
+
+def _freeze_kwargs(items: tuple[tuple[str, Any], ...]) -> tuple[tuple[str, Any], ...]:
+    return tuple(
+        (name, tuple(value) if isinstance(value, list) else value)
+        for name, value in items
+    )
+
+
+#: One job's outcome: (result, error message, wall time) — exactly one of
+#: result/error is set.
+JobOutcome = tuple[FigureResult | None, str | None, float]
+
+
+def _execute_job(job: ExperimentJob) -> JobOutcome:
+    """Worker entry point — module-level so the process pool can pickle it.
+
+    Times and crash-isolates in-worker, so provenance reports each job's
+    own duration (success or failure) rather than submission-order queue
+    latency, and a raising figure never tears down the pool.
+    """
+    started = time.perf_counter()
+    try:
+        result = run_figure(job.figure_id, job.seed, **job.kwargs_dict())
+        return result, None, time.perf_counter() - started
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started
+
+
+@dataclass
+class JobRecord:
+    """Provenance for one scheduled job."""
+
+    figure_id: str
+    digest: str
+    backend: str
+    cache_hit: bool
+    wall_time_s: float
+    job_seed: int
+    batch: int
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "figure_id": self.figure_id,
+            "digest": self.digest,
+            "backend": self.backend,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": self.wall_time_s,
+            "job_seed": self.job_seed,
+            "batch": self.batch,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SchedulerReport:
+    """Everything one scheduler run produced."""
+
+    results: dict[str, FigureResult] = field(default_factory=dict)
+    records: list[JobRecord] = field(default_factory=list)
+    batches: list[list[str]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> dict[str, str]:
+        """figure_id -> captured error message, for failed jobs."""
+        return {r.figure_id: r.error for r in self.records if r.error}
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def executed(self) -> int:
+        """Jobs that actually ran a workload (miss, no error)."""
+        return sum(1 for r in self.records if not r.cache_hit and not r.error)
+
+    def record_for(self, figure_id: str) -> JobRecord:
+        for record in self.records:
+            if record.figure_id == figure_id:
+                return record
+        raise KeyError(f"no job record for {figure_id!r}")
+
+    def raise_for_errors(self) -> None:
+        """Re-raise (as ConfigurationError) if any job failed."""
+        if self.errors:
+            detail = "; ".join(f"{fid}: {msg}" for fid, msg in self.errors.items())
+            raise ConfigurationError(f"{len(self.errors)} job(s) failed: {detail}")
+
+
+def topological_batches(
+    figure_ids: Iterable[str],
+    dependencies: Mapping[str, tuple[str, ...]] | None = None,
+) -> list[list[str]]:
+    """Kahn-level batches: each batch's jobs are mutually independent.
+
+    Dependencies default to ``Experiment.depends_on`` from the registry.
+    Edges pointing outside the selected set are ignored (the dependency is
+    assumed satisfied — e.g. by the cache). Cycles raise.
+    """
+    selected = list(figure_ids)
+    selected_set = set(selected)
+    if dependencies is None:
+        dependencies = {
+            fid: EXPERIMENTS[fid].depends_on if fid in EXPERIMENTS else ()
+            for fid in selected
+        }
+    remaining = {
+        fid: {dep for dep in dependencies.get(fid, ()) if dep in selected_set}
+        for fid in selected
+    }
+    batches: list[list[str]] = []
+    while remaining:
+        ready = [fid for fid, deps in remaining.items() if not deps]
+        if not ready:
+            cycle = ", ".join(sorted(remaining))
+            raise ConfigurationError(f"dependency cycle among experiments: {cycle}")
+        batches.append(ready)
+        for fid in ready:
+            del remaining[fid]
+        for deps in remaining.values():
+            deps.difference_update(ready)
+    return batches
+
+
+class ExperimentScheduler:
+    """Batches figure jobs and executes them through the store + backend."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        *,
+        quick: bool = False,
+        policy: ExecutionPolicy | None = None,
+        store: ResultStore | None = None,
+    ) -> None:
+        self.seed = seed
+        self.quick = quick
+        self.policy = policy or ExecutionPolicy.serial()
+        self.store = store
+
+    # --- job construction -----------------------------------------------------------
+
+    def key_for(self, figure_id: str, overrides: dict[str, Any] | None = None) -> StoreKey:
+        """The store key a run of ``figure_id`` with ``overrides`` would use.
+
+        Keys are built from the *effective* kwargs (quick defaults merged
+        with overrides), so a quick-mode run and an explicit-kwargs run of
+        the same computation share one cache entry — ``findings --cache``
+        reuses figures archived by ``run --quick --cache``.
+        """
+        return StoreKey.for_run(
+            figure_id, self.seed, self.quick, self.effective_kwargs(figure_id, overrides)
+        )
+
+    def effective_kwargs(self, figure_id: str, overrides: dict[str, Any] | None) -> dict:
+        """Quick-mode defaults merged with caller overrides."""
+        kwargs = quick_overrides(figure_id) if self.quick else {}
+        kwargs.update(overrides or {})
+        return kwargs
+
+    # --- execution -------------------------------------------------------------------
+
+    def run(
+        self,
+        figure_ids: Iterable[str] | None = None,
+        overrides: Mapping[str, dict[str, Any]] | None = None,
+    ) -> SchedulerReport:
+        """Run the selected figures (default: all) and report provenance.
+
+        ``overrides`` maps figure ids to per-figure kwargs. Cached results
+        are served from the store without executing anything; failures are
+        captured per job (see :meth:`SchedulerReport.raise_for_errors`).
+        """
+        selected = list(figure_ids) if figure_ids is not None else list(FIGURES)
+        unknown = [fid for fid in selected if fid not in FIGURES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown figure(s) {', '.join(unknown)}; known: {', '.join(FIGURES)}"
+            )
+        overrides = dict(overrides or {})
+        report = SchedulerReport(batches=topological_batches(selected))
+        for batch_index, batch in enumerate(report.batches):
+            self._run_batch(batch_index, batch, overrides, report)
+        return report
+
+    def _run_batch(
+        self,
+        batch_index: int,
+        batch: list[str],
+        overrides: Mapping[str, dict[str, Any]],
+        report: SchedulerReport,
+    ) -> None:
+        pending: list[tuple[ExperimentJob, StoreKey]] = []
+        for figure_id in batch:
+            figure_overrides = overrides.get(figure_id)
+            key = self.key_for(figure_id, figure_overrides)
+            started = time.perf_counter()
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                elapsed = time.perf_counter() - started
+                job_seed = Runner.job_seed(self.seed, figure_id)
+                self._attach_provenance(cached, key, "store", True, elapsed, job_seed)
+                report.results[figure_id] = cached
+                report.records.append(
+                    JobRecord(
+                        figure_id=figure_id,
+                        digest=key.digest,
+                        backend="store",
+                        cache_hit=True,
+                        wall_time_s=elapsed,
+                        job_seed=job_seed,
+                        batch=batch_index,
+                    )
+                )
+                continue
+            kwargs = self.effective_kwargs(figure_id, figure_overrides)
+            pending.append((ExperimentJob.build(figure_id, self.seed, kwargs), key))
+        if not pending:
+            return
+        backend = self.policy.resolved_backend
+        if backend == BACKEND_PROCESS and len(pending) > 1:
+            outcomes = self._run_pool(pending)
+        else:
+            # A single pending job gains nothing from a pool; run in-process.
+            backend = BACKEND_SERIAL
+            outcomes = self._run_serial(pending)
+        for (job, key), (result, error, elapsed) in zip(pending, outcomes):
+            record = JobRecord(
+                figure_id=job.figure_id,
+                digest=key.digest,
+                backend=backend,
+                cache_hit=False,
+                wall_time_s=elapsed,
+                job_seed=job.job_seed,
+                batch=batch_index,
+                error=error,
+            )
+            report.records.append(record)
+            if result is None:
+                continue
+            self._attach_provenance(result, key, backend, False, elapsed, job.job_seed)
+            if self.store is not None:
+                self.store.put(key, result)
+            report.results[job.figure_id] = result
+
+    def _run_serial(
+        self, pending: list[tuple[ExperimentJob, StoreKey]]
+    ) -> list[JobOutcome]:
+        return [_execute_job(job) for job, _key in pending]
+
+    def _run_pool(
+        self, pending: list[tuple[ExperimentJob, StoreKey]]
+    ) -> list[JobOutcome]:
+        workers = min(self.policy.jobs, len(pending))
+        outcomes: list[JobOutcome] = []
+        started = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_job, job) for job, _key in pending]
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    # Only infrastructure failures (broken pool, unpicklable
+                    # payload) reach here — figure errors are captured
+                    # in-worker by _execute_job.
+                    outcomes.append((None, f"{type(exc).__name__}: {exc}",
+                                     time.perf_counter() - started))
+        return outcomes
+
+    def _attach_provenance(
+        self,
+        result: FigureResult,
+        key: StoreKey,
+        backend: str,
+        cache_hit: bool,
+        wall_time_s: float,
+        job_seed: int,
+    ) -> None:
+        result.metadata["provenance"] = {
+            "backend": backend,
+            "cache": "hit" if cache_hit else "miss",
+            "wall_time_s": round(wall_time_s, 6),
+            "seed": self.seed,
+            "quick": self.quick,
+            "job_seed": job_seed,
+            "digest": key.digest,
+            "overrides": key.overrides,
+        }

@@ -20,7 +20,6 @@ from repro.errors import ConfigurationError
 from repro.platforms.kata import KataPlatform
 from repro.platforms.qemu import QemuPlatform
 from repro.rng import RngStream
-from repro.virtio.ninep import NinePChannel
 from repro.workloads.fio import FioThroughputWorkload
 from repro.workloads.iperf import IperfWorkload
 

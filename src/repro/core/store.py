@@ -1,0 +1,218 @@
+"""Persistent, content-addressed result store.
+
+Every figure execution is identified by a :class:`StoreKey` — the exact
+inputs that determine its output: ``(figure_id, seed, quick, overrides)``.
+The key canonicalizes to JSON and hashes to a short digest, so any change
+to the seed, the quick flag, or any override (including platform lists)
+produces a different address and naturally invalidates stale entries.
+
+:class:`ResultStore` maps keys to :class:`~repro.core.results.FigureResult`
+JSON files under a cache directory. The store is the read-through layer in
+front of the :class:`~repro.core.scheduler.ExperimentScheduler`: a warm
+cache means a rerun performs *zero* workload executions.
+
+Entries are self-describing — each file records the full key alongside the
+result payload, so a cache directory doubles as a provenance archive.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.results import FigureResult
+from repro.errors import ConfigurationError
+
+__all__ = ["StoreKey", "ResultStore", "canonical_overrides"]
+
+_SCHEMA_VERSION = 1
+
+
+def canonical_overrides(overrides: dict[str, Any] | None) -> str:
+    """Deterministic JSON text for an override mapping.
+
+    Keys are sorted; sets, tuples, and enum-like objects canonicalize to
+    stable JSON. Values with no stable representation are rejected rather
+    than silently hashed via ``repr`` (which would embed memory addresses
+    and make digests differ across processes).
+    """
+
+    def _default(value: Any) -> Any:
+        if isinstance(value, (set, frozenset)):
+            return sorted(value)
+        if isinstance(value, enum.Enum):
+            return value.value
+        raise TypeError(f"unstable override value of type {type(value).__name__}")
+
+    try:
+        return json.dumps(
+            dict(overrides or {}), sort_keys=True, separators=(",", ":"), default=_default
+        )
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"override values must canonicalize to JSON for cache keying: {exc}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """The complete identity of one figure execution.
+
+    ``overrides`` must be the *effective* kwargs the figure function runs
+    with (quick-mode defaults already merged in — see
+    :meth:`ExperimentScheduler.key_for`). A figure's output is fully
+    determined by ``(figure_id, seed, effective kwargs)``, so only those
+    enter the digest; ``quick`` is recorded for provenance but does not
+    fragment the address space — a quick run and an explicit
+    ``startups=60`` run share one cache entry.
+    """
+
+    figure_id: str
+    seed: int
+    quick: bool
+    overrides_json: str = "{}"
+
+    @classmethod
+    def for_run(
+        cls,
+        figure_id: str,
+        seed: int,
+        quick: bool,
+        overrides: dict[str, Any] | None = None,
+    ) -> "StoreKey":
+        """Build a key from run parameters (``overrides`` = effective kwargs)."""
+        return cls(
+            figure_id=figure_id,
+            seed=int(seed),
+            quick=bool(quick),
+            overrides_json=canonical_overrides(overrides),
+        )
+
+    @property
+    def overrides(self) -> dict[str, Any]:
+        """The override mapping this key encodes."""
+        return json.loads(self.overrides_json)
+
+    @property
+    def is_default(self) -> bool:
+        """True when the key encodes no effective kwargs at all."""
+        return self.overrides_json == "{}"
+
+    @property
+    def digest(self) -> str:
+        """Short content digest addressing this execution."""
+        payload = json.dumps(
+            {
+                "figure_id": self.figure_id,
+                "seed": self.seed,
+                "overrides": self.overrides_json,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=10).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form, embedded in every store entry."""
+        return {
+            "figure_id": self.figure_id,
+            "seed": self.seed,
+            "quick": self.quick,
+            "overrides": self.overrides,
+            "digest": self.digest,
+        }
+
+
+class ResultStore:
+    """On-disk cache of figure results, addressed by :class:`StoreKey`."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self._hits = 0
+        self._misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r})"
+
+    # --- addressing ---------------------------------------------------------------
+
+    def path_for(self, key: StoreKey) -> pathlib.Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / f"{key.figure_id}-{key.digest}.json"
+
+    # --- read/write ---------------------------------------------------------------
+
+    def get(self, key: StoreKey) -> FigureResult | None:
+        """Load a cached result, or None on miss (or unreadable entry)."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self._misses += 1
+            return None
+        try:
+            if payload.get("schema") != _SCHEMA_VERSION:
+                raise ConfigurationError("schema mismatch")
+            stored_key = payload["key"]
+            if stored_key.get("digest") != key.digest:
+                raise ConfigurationError("digest mismatch")
+            result = FigureResult.from_dict(payload["result"])
+        except (ConfigurationError, KeyError, TypeError, ValueError):
+            # A corrupt or stale-schema entry behaves like a miss.
+            self._misses += 1
+            return None
+        self._hits += 1
+        return result
+
+    def put(self, key: StoreKey, result: FigureResult) -> pathlib.Path:
+        """Persist a result under its key (atomic rename)."""
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigurationError(
+                f"result store path {self.root} exists and is not a directory"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "key": key.to_dict(),
+            "result": result.to_dict(),
+        }
+        temp = path.with_suffix(f".tmp-{os.getpid()}")
+        temp.write_text(json.dumps(payload, indent=2))
+        temp.replace(path)
+        return path
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return self.path_for(key).exists()
+
+    # --- maintenance ---------------------------------------------------------------
+
+    def entries(self) -> Iterator[dict[str, Any]]:
+        """Iterate over the stored keys (as dicts) for inspection."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                yield payload["key"]
+            except (OSError, json.JSONDecodeError, KeyError):
+                continue
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters for this process."""
+        return {"hits": self._hits, "misses": self._misses}

@@ -1,14 +1,20 @@
 """The user-facing benchmark suite.
 
 :class:`BenchmarkSuite` is the library's front door: it runs individual
-figure reproductions or the complete evaluation, caches results, renders
-reports, checks the paper's findings, and archives everything as JSON.
+figure reproductions or the complete evaluation, renders reports, checks
+the paper's findings, and archives everything as JSON.
+
+Execution goes through the :class:`~repro.core.scheduler.ExperimentScheduler`
+layer: results are read through an optional persistent
+:class:`~repro.core.store.ResultStore` before any workload runs, and the
+whole evaluation can execute across a process pool (``jobs=N``) with
+bit-identical output to the serial default.
 
 Example::
 
     from repro import BenchmarkSuite
 
-    suite = BenchmarkSuite(seed=42)
+    suite = BenchmarkSuite(seed=42, jobs=4, cache_dir="results-cache")
     print(suite.run_figure("fig11").render())
     report = suite.findings_report()
 """
@@ -20,9 +26,15 @@ import pathlib
 from typing import Any
 
 from repro.core.experiment import EXPERIMENTS, get_experiment
-from repro.core.figures import FIGURES, figure_ids, run_figure
+from repro.core.figures import FIGURES, figure_ids
 from repro.core.findings import FindingCheck, FindingsEvaluator
 from repro.core.results import FigureResult
+from repro.core.scheduler import (
+    ExecutionPolicy,
+    ExperimentScheduler,
+    SchedulerReport,
+)
+from repro.core.store import ResultStore, StoreKey
 from repro.errors import ConfigurationError
 from repro.hardware.topology import paper_testbed
 
@@ -32,11 +44,33 @@ __all__ = ["BenchmarkSuite"]
 class BenchmarkSuite:
     """Runs the paper's full evaluation against the simulated testbed."""
 
-    def __init__(self, seed: int = 42, *, quick: bool = False) -> None:
+    def __init__(
+        self,
+        seed: int = 42,
+        *,
+        quick: bool = False,
+        jobs: int = 1,
+        policy: ExecutionPolicy | None = None,
+        cache_dir: str | pathlib.Path | None = None,
+        store: ResultStore | None = None,
+    ) -> None:
         self.seed = seed
         self.quick = quick
         self.machine = paper_testbed()
+        self.policy = policy or ExecutionPolicy(jobs=jobs)
+        self.store = store if store is not None else (
+            ResultStore(cache_dir) if cache_dir is not None else None
+        )
+        self.scheduler = ExperimentScheduler(
+            seed, quick=quick, policy=self.policy, store=self.store
+        )
+        # In-memory results, keyed by store digest so override variants
+        # coexist with default runs instead of bypassing the cache.
         self._results: dict[str, FigureResult] = {}
+        self._keys: dict[str, StoreKey] = {}
+        # Digests of runs requested without caller overrides (archive naming).
+        self._default_digests: set[str] = set()
+        self._last_report: SchedulerReport | None = None
 
     # --- figure execution ---------------------------------------------------------
 
@@ -44,41 +78,90 @@ class BenchmarkSuite:
         """All reproducible figures/tables."""
         return figure_ids()
 
-    def _quick_kwargs(self, figure_id: str) -> dict[str, Any]:
-        if not self.quick:
-            return {}
-        if figure_id in ("fig13", "fig14", "fig15"):
-            return {"startups": 60}
-        if figure_id in ("fig18",):
-            return {}
-        return {"repetitions": 3}
+    def _key(self, figure_id: str, overrides: dict[str, Any]) -> StoreKey:
+        # Delegate so in-memory keys match the scheduler/store addressing
+        # (effective kwargs: quick defaults merged with overrides).
+        return self.scheduler.key_for(figure_id, overrides)
+
+    def _remember(
+        self, key: StoreKey, result: FigureResult, *, default: bool
+    ) -> FigureResult:
+        self._results[key.digest] = result
+        self._keys[key.digest] = key
+        if default:
+            self._default_digests.add(key.digest)
+        return result
 
     def run_figure(self, figure_id: str, **overrides: Any) -> FigureResult:
-        """Run (and cache) one figure reproduction."""
+        """Run (and cache) one figure reproduction.
+
+        Results are keyed on ``(figure_id, seed, quick, overrides)`` — runs
+        with overrides are cached too, under their own key, and a warm
+        persistent store satisfies the call with zero workload executions.
+        """
         if figure_id not in FIGURES:
             raise ConfigurationError(
                 f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
             )
-        cache_key = figure_id if not overrides else None
-        if cache_key and cache_key in self._results:
-            return self._results[cache_key]
-        kwargs = self._quick_kwargs(figure_id)
-        kwargs.update(overrides)
-        result = run_figure(figure_id, self.seed, **kwargs)
-        if cache_key:
-            self._results[cache_key] = result
-        return result
+        key = self._key(figure_id, overrides)
+        # "Default" is a property of the effective key, not the call
+        # spelling: an explicit override equal to the quick defaults is the
+        # default run and archives as <figure_id>.json.
+        default = key.digest == self._key(figure_id, {}).digest
+        cached = self._results.get(key.digest)
+        if cached is not None:
+            if default:
+                self._default_digests.add(key.digest)
+            return cached
+        report = self.scheduler.run(
+            [figure_id], overrides={figure_id: overrides} if overrides else None
+        )
+        self._last_report = report
+        report.raise_for_errors()
+        return self._remember(key, report.results[figure_id], default=default)
 
-    def run_all(self) -> dict[str, FigureResult]:
-        """Run every figure reproduction."""
-        return {figure_id: self.run_figure(figure_id) for figure_id in figure_ids()}
+    def run_all(self, figure_ids: list[str] | None = None) -> dict[str, FigureResult]:
+        """Run every figure reproduction (or a subset) through the scheduler.
+
+        With ``jobs > 1`` the figures execute across a process pool;
+        summaries are bit-identical to the serial backend because every
+        figure derives its own independent seed subtree.
+        """
+        selected = list(figure_ids) if figure_ids is not None else self.figure_ids()
+        pending = [
+            fid for fid in selected
+            if self._key(fid, {}).digest not in self._results
+        ]
+        if pending:
+            report = self.scheduler.run(pending)
+            self._last_report = report
+            report.raise_for_errors()
+            for fid, result in report.results.items():
+                self._remember(self._key(fid, {}), result, default=True)
+        return {
+            fid: self._results[self._key(fid, {}).digest] for fid in selected
+        }
+
+    @property
+    def last_report(self) -> SchedulerReport | None:
+        """Provenance of the most recent scheduler dispatch.
+
+        In-memory cache hits return without dispatching, so this keeps
+        describing the run that actually produced (or failed to produce)
+        results — it is set even when that run raised, so per-job error
+        records stay inspectable after ``raise_for_errors``.
+        """
+        return self._last_report
 
     # --- findings -------------------------------------------------------------------
 
     def check_findings(self) -> list[FindingCheck]:
-        """Evaluate all 28 paper findings."""
-        evaluator = FindingsEvaluator(self.seed, quick=self.quick)
-        # Share already-computed figures where repetition counts line up.
+        """Evaluate all 28 paper findings.
+
+        The evaluator reads its figures through this suite, so anything in
+        the in-memory or persistent store is reused instead of recomputed.
+        """
+        evaluator = FindingsEvaluator(self.seed, quick=self.quick, suite=self)
         return evaluator.evaluate()
 
     def findings_report(self) -> str:
@@ -105,34 +188,53 @@ class BenchmarkSuite:
         return "\n".join(lines)
 
     def describe(self) -> str:
-        """Suite header: testbed and scope."""
+        """Suite header: testbed, scope, and execution policy."""
         return (
             f"Isolation-platform benchmark suite (seed={self.seed})\n"
             f"Simulated testbed: {self.machine.describe()}\n"
+            f"Execution: backend={self.policy.resolved_backend} "
+            f"jobs={self.policy.jobs} "
+            f"store={self.store.root if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
         )
 
     def save_results(self, directory: str | pathlib.Path) -> list[pathlib.Path]:
-        """Archive all cached figure results as JSON files."""
+        """Archive all cached figure results as JSON files.
+
+        Default runs land in ``<figure_id>.json``; override variants get a
+        digest suffix so they never clobber each other. The manifest
+        records per-figure provenance (backend, cache, wall time).
+        """
         target = pathlib.Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         written: list[pathlib.Path] = []
-        for figure_id, result in sorted(self._results.items()):
-            path = target / f"{figure_id}.json"
+        provenance: dict[str, Any] = {}
+        for digest in sorted(
+            self._results, key=lambda d: (self._keys[d].figure_id, d)
+        ):
+            key = self._keys[digest]
+            result = self._results[digest]
+            default = digest in self._default_digests
+            name = key.figure_id if default else f"{key.figure_id}-{digest[:8]}"
+            path = target / f"{name}.json"
             path.write_text(result.to_json())
             written.append(path)
+            provenance[name] = result.provenance
         manifest = target / "manifest.json"
         manifest.write_text(
             json.dumps(
                 {
                     "seed": self.seed,
                     "quick": self.quick,
+                    "backend": self.policy.resolved_backend,
+                    "jobs": self.policy.jobs,
                     "machine": self.machine.describe(),
                     "figures": [p.name for p in written],
+                    "provenance": provenance,
                     "experiments": {
-                        fid: get_experiment(fid).paper_artifact
-                        for fid in self._results
-                        if fid in EXPERIMENTS
+                        key.figure_id: get_experiment(key.figure_id).paper_artifact
+                        for key in self._keys.values()
+                        if key.figure_id in EXPERIMENTS
                     },
                 },
                 indent=2,

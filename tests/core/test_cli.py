@@ -15,6 +15,15 @@ class TestParser:
         assert args.figure == "fig11"
         assert args.quick
         assert args.json == "out"
+        assert args.jobs == 1  # serial remains the default backend
+
+    def test_run_execution_flags(self):
+        args = build_parser().parse_args(
+            ["run", "all", "--jobs", "4", "--cache", "store", "--provenance"]
+        )
+        assert args.jobs == 4
+        assert args.cache == "store"
+        assert args.provenance
 
     def test_seed_is_global(self):
         args = build_parser().parse_args(["--seed", "7", "list"])
@@ -45,6 +54,19 @@ class TestCommands:
         assert main(["run", "fig12", "--quick", "--json", target]) == 0
         assert (tmp_path / "results" / "fig12.json").exists()
         assert (tmp_path / "results" / "manifest.json").exists()
+
+    def test_run_parallel_with_provenance(self, capsys):
+        assert main(["run", "fig12", "--quick", "--jobs", "2", "--provenance"]) == 0
+        out = capsys.readouterr().out
+        assert "Netperf" in out
+        assert "[provenance] backend=" in out
+
+    def test_run_with_cache_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "fig12", "--quick", "--cache", cache, "--provenance"]) == 0
+        assert main(["run", "fig12", "--quick", "--cache", cache, "--provenance"]) == 0
+        out = capsys.readouterr().out
+        assert "cache=hit" in out  # second invocation served from the store
 
     def test_hap_subset(self, capsys):
         assert main(["hap", "osv", "firecracker"]) == 0

@@ -1,0 +1,176 @@
+"""Tests for the parallel experiment scheduler.
+
+Covers the issue's scheduler checklist: serial-vs-parallel determinism
+across seeds, cache invalidation on seed/override change, topological
+batching, and crash isolation when one job raises.
+"""
+
+import pytest
+
+from repro.core.scheduler import (
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    ExecutionPolicy,
+    ExperimentJob,
+    ExperimentScheduler,
+    quick_overrides,
+    topological_batches,
+)
+from repro.core.store import ResultStore
+from repro.errors import ConfigurationError
+
+#: Fast figures used throughout (quick mode keeps each under ~100 ms).
+SUBSET = ["cpu-prime", "fig11", "fig12", "fig18"]
+
+
+class TestExecutionPolicy:
+    def test_serial_is_default(self):
+        assert ExecutionPolicy().resolved_backend == BACKEND_SERIAL
+
+    def test_jobs_opt_into_pool(self):
+        assert ExecutionPolicy(jobs=2).resolved_backend == BACKEND_PROCESS
+
+    def test_explicit_backend_wins(self):
+        assert ExecutionPolicy(jobs=4, backend="serial").resolved_backend == BACKEND_SERIAL
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(backend="gpu")
+
+
+class TestTopologicalBatches:
+    def test_registry_is_one_independent_batch(self):
+        batches = topological_batches(SUBSET)
+        assert batches == [SUBSET]
+
+    def test_dependencies_split_into_levels(self):
+        deps = {"a": (), "b": ("a",), "c": ("a",), "d": ("b", "c")}
+        batches = topological_batches(["a", "b", "c", "d"], dependencies=deps)
+        assert batches == [["a"], ["b", "c"], ["d"]]
+
+    def test_dependency_outside_selection_is_satisfied(self):
+        deps = {"b": ("a",)}
+        assert topological_batches(["b"], dependencies=deps) == [["b"]]
+
+    def test_cycle_detected(self):
+        deps = {"a": ("b",), "b": ("a",)}
+        with pytest.raises(ConfigurationError, match="cycle"):
+            topological_batches(["a", "b"], dependencies=deps)
+
+
+class TestJobs:
+    def test_job_seed_derived_from_seed_tree(self):
+        job = ExperimentJob.build("fig11", 42, {})
+        assert job.job_seed == ExperimentJob.build("fig11", 42, {}).job_seed
+        assert job.job_seed != ExperimentJob.build("fig12", 42, {}).job_seed
+        assert job.job_seed != ExperimentJob.build("fig11", 43, {}).job_seed
+
+    def test_kwargs_round_trip_lists(self):
+        job = ExperimentJob.build("fig11", 42, {"platforms": ["native", "qemu"]})
+        assert job.kwargs_dict() == {"platforms": ["native", "qemu"]}
+
+    def test_quick_overrides_table(self):
+        assert quick_overrides("fig13") == {"startups": 60}
+        assert quick_overrides("fig18") == {}
+        assert quick_overrides("fig11") == {"repetitions": 3}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [42, 7])
+    def test_parallel_identical_to_serial(self, seed):
+        serial = ExperimentScheduler(seed, quick=True).run(SUBSET)
+        parallel = ExperimentScheduler(
+            seed, quick=True, policy=ExecutionPolicy(jobs=2)
+        ).run(SUBSET)
+        for figure_id in SUBSET:
+            assert (
+                serial.results[figure_id].comparable_dict()
+                == parallel.results[figure_id].comparable_dict()
+            ), figure_id
+        assert {r.backend for r in parallel.records} == {BACKEND_PROCESS}
+        assert {r.backend for r in serial.records} == {BACKEND_SERIAL}
+
+    def test_different_seeds_differ(self):
+        a = ExperimentScheduler(42, quick=True).run(["fig11"])
+        b = ExperimentScheduler(43, quick=True).run(["fig11"])
+        assert (
+            a.results["fig11"].comparable_dict() != b.results["fig11"].comparable_dict()
+        )
+
+    def test_provenance_attached(self):
+        report = ExperimentScheduler(42, quick=True).run(["fig11"])
+        provenance = report.results["fig11"].provenance
+        assert provenance["backend"] == BACKEND_SERIAL
+        assert provenance["cache"] == "miss"
+        assert provenance["seed"] == 42
+        assert provenance["wall_time_s"] >= 0.0
+
+
+class TestStoreIntegration:
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = ExperimentScheduler(42, quick=True, store=store).run(SUBSET)
+        assert cold.executed == len(SUBSET)
+        warm = ExperimentScheduler(42, quick=True, store=store).run(SUBSET)
+        assert warm.executed == 0
+        assert warm.cache_hits == len(SUBSET)
+        for figure_id in SUBSET:
+            assert (
+                warm.results[figure_id].comparable_dict()
+                == cold.results[figure_id].comparable_dict()
+            )
+            assert warm.record_for(figure_id).backend == "store"
+
+    def test_seed_change_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ExperimentScheduler(42, quick=True, store=store).run(["fig11"])
+        other_seed = ExperimentScheduler(43, quick=True, store=store).run(["fig11"])
+        assert other_seed.executed == 1 and other_seed.cache_hits == 0
+
+    def test_quick_and_explicit_kwargs_share_entries(self, tmp_path):
+        # `run --quick --cache D` then `findings --cache D` must reuse the
+        # same entries: keys are built from effective kwargs, so a quick
+        # default and the equivalent explicit override hash identically.
+        store = ResultStore(tmp_path)
+        quick = ExperimentScheduler(42, quick=True, store=store)
+        quick.run(["fig13"])  # quick default: startups=60
+        explicit = ExperimentScheduler(42, quick=False, store=store)
+        warm = explicit.run(["fig13"], overrides={"fig13": {"startups": 60}})
+        assert warm.executed == 0 and warm.cache_hits == 1
+
+    def test_override_change_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scheduler = ExperimentScheduler(42, quick=True, store=store)
+        scheduler.run(["fig11"])
+        overridden = scheduler.run(["fig11"], overrides={"fig11": {"repetitions": 2}})
+        assert overridden.executed == 1 and overridden.cache_hits == 0
+        # ... and the override variant is itself cached under its own key.
+        again = scheduler.run(["fig11"], overrides={"fig11": {"repetitions": 2}})
+        assert again.executed == 0 and again.cache_hits == 1
+
+
+class TestCrashIsolation:
+    def test_serial_failure_does_not_stop_batch(self):
+        scheduler = ExperimentScheduler(42, quick=True)
+        report = scheduler.run(
+            ["fig11", "fig12"], overrides={"fig11": {"bogus_kwarg": 1}}
+        )
+        assert "fig11" in report.errors
+        assert "TypeError" in report.errors["fig11"]
+        assert "fig12" in report.results
+        with pytest.raises(ConfigurationError, match="fig11"):
+            report.raise_for_errors()
+
+    def test_pool_failure_does_not_stop_batch(self):
+        scheduler = ExperimentScheduler(42, quick=True, policy=ExecutionPolicy(jobs=2))
+        report = scheduler.run(
+            ["fig11", "fig12", "fig18"], overrides={"fig12": {"bogus_kwarg": 1}}
+        )
+        assert set(report.errors) == {"fig12"}
+        assert set(report.results) == {"fig11", "fig18"}
+
+    def test_unknown_figure_rejected_up_front(self):
+        with pytest.raises(ConfigurationError, match="fig99"):
+            ExperimentScheduler(42).run(["fig99"])

@@ -1,0 +1,139 @@
+"""Tests for the persistent content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.core.results import FigureResult, ResultRow, SeriesRow
+from repro.core.stats import summarize
+from repro.core.store import ResultStore, StoreKey, canonical_overrides
+from repro.errors import ConfigurationError
+
+
+def sample_result() -> FigureResult:
+    result = FigureResult(figure_id="figX", title="sample", unit="ms", x_label="n")
+    result.rows.append(ResultRow("native", "Native", summarize([1.0, 2.0, 3.0]), "ms"))
+    result.rows.append(
+        ResultRow("qemu", "QEMU", summarize([4.0, 5.0]), "ms", extra={"write_mean": 7.5})
+    )
+    result.series.append(
+        SeriesRow("native", "Native", (1.0, 2.0), (10.0, 20.0), (0.1, 0.2), unit="ms")
+    )
+    result.notes.append("a note")
+    result.metadata["provenance"] = {"backend": "serial", "cache": "miss"}
+    return result
+
+
+class TestStoreKey:
+    def test_digest_stable_across_processes(self):
+        key = StoreKey.for_run("fig11", 42, True, {"repetitions": 3})
+        again = StoreKey.for_run("fig11", 42, True, {"repetitions": 3})
+        assert key.digest == again.digest
+
+    def test_digest_changes_with_each_component(self):
+        base = StoreKey.for_run("fig11", 42, False, None)
+        assert StoreKey.for_run("fig12", 42, False, None).digest != base.digest
+        assert StoreKey.for_run("fig11", 43, False, None).digest != base.digest
+        assert StoreKey.for_run("fig11", 42, False, {"repetitions": 2}).digest != base.digest
+
+    def test_quick_flag_alone_does_not_fragment(self):
+        # The output is fully determined by (figure_id, seed, effective
+        # kwargs); quick is provenance, so identical kwargs share an entry.
+        a = StoreKey.for_run("fig11", 42, False, {"repetitions": 3})
+        b = StoreKey.for_run("fig11", 42, True, {"repetitions": 3})
+        assert a.digest == b.digest
+
+    def test_override_order_is_canonical(self):
+        a = StoreKey.for_run("fig11", 1, False, {"a": 1, "b": [2, 3]})
+        b = StoreKey.for_run("fig11", 1, False, {"b": [2, 3], "a": 1})
+        assert a.digest == b.digest
+
+    def test_canonical_overrides_handles_collections(self):
+        text = canonical_overrides({"platforms": ["qemu", "native"], "flag": True})
+        assert json.loads(text) == {"platforms": ["qemu", "native"], "flag": True}
+
+    def test_canonical_overrides_rejects_unstable_values(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ConfigurationError, match="canonicalize"):
+            canonical_overrides({"thing": Opaque()})
+
+    def test_canonical_overrides_rejects_value_attr_lookalikes(self):
+        # Only real enums canonicalize via .value; arbitrary objects that
+        # happen to carry one must not silently collide onto a key.
+        class HasValue:
+            value = 3
+
+        with pytest.raises(ConfigurationError, match="canonicalize"):
+            canonical_overrides({"x": HasValue()})
+
+    def test_canonical_overrides_accepts_real_enums(self):
+        import enum
+
+        class Mode(enum.Enum):
+            FAST = "fast"
+
+        assert json.loads(canonical_overrides({"mode": Mode.FAST})) == {"mode": "fast"}
+
+    def test_is_default(self):
+        assert StoreKey.for_run("fig11", 42, False, None).is_default
+        assert not StoreKey.for_run("fig11", 42, False, {"repetitions": 2}).is_default
+
+
+class TestResultRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        original = sample_result()
+        rebuilt = FigureResult.from_dict(json.loads(original.to_json()))
+        assert rebuilt.to_dict() == original.to_dict()
+        assert rebuilt.rows[0].summary.mean == original.rows[0].summary.mean
+        assert rebuilt.series[0].x_values == (1.0, 2.0)
+
+    def test_comparable_dict_drops_provenance_only(self):
+        result = sample_result()
+        comparable = result.comparable_dict()
+        assert "provenance" not in comparable["metadata"]
+        assert result.provenance["backend"] == "serial"  # original untouched
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = StoreKey.for_run("figX", 42, False, None)
+        assert store.get(key) is None
+        store.put(key, sample_result())
+        assert key in store
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.to_dict() == sample_result().to_dict()
+        assert store.stats == {"hits": 1, "misses": 1}
+
+    def test_seed_and_override_changes_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(StoreKey.for_run("figX", 42, False, None), sample_result())
+        assert store.get(StoreKey.for_run("figX", 43, False, None)) is None
+        assert store.get(StoreKey.for_run("figX", 42, False, {"repetitions": 9})) is None
+
+    def test_store_path_colliding_with_file_rejected(self, tmp_path):
+        clash = tmp_path / "afile"
+        clash.write_text("occupied")
+        store = ResultStore(clash)
+        with pytest.raises(ConfigurationError, match="not a directory"):
+            store.put(StoreKey.for_run("figX", 42, False, None), sample_result())
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = StoreKey.for_run("figX", 42, False, None)
+        path = store.put(key, sample_result())
+        path.write_text("{not json")
+        assert store.get(key) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(StoreKey.for_run("figX", 42, False, None), sample_result())
+        store.put(StoreKey.for_run("figX", 42, False, {"repetitions": 2}), sample_result())
+        listed = list(store.entries())
+        assert len(listed) == 2
+        assert all(entry["figure_id"] == "figX" for entry in listed)
+        assert store.clear() == 2
+        assert list(store.entries()) == []

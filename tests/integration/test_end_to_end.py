@@ -1,6 +1,5 @@
 """Integration tests: determinism, cross-figure consistency, full pipeline."""
 
-import pytest
 
 from repro.core.figures import run_figure
 from repro.core.suite import BenchmarkSuite
