@@ -1,14 +1,16 @@
-"""CI benchmark smoke: serial vs. process-pool determinism gate.
+"""CI benchmark smoke: serial vs. parallel-backend determinism gates.
 
-Runs a small figure subset through ``BenchmarkSuite(quick=True)`` twice —
-once on the serial backend and once across a process pool — asserts the
-summaries are bit-identical, then archives the parallel run's JSON +
-manifest as the CI artifact. The emitted ``BENCH_smoke.json`` records
-per-backend wall times, seeding the repo's performance trajectory.
+Runs a small figure subset through ``BenchmarkSuite(quick=True)`` three
+times — once on the serial backend, once across a figure-level process
+pool, and once with repetition-level parallelism (``rep_jobs``) — and
+asserts all summaries are bit-identical, then archives the pool run's
+JSON + manifest as the CI artifact. The emitted ``BENCH_smoke.json``
+records per-backend wall times, seeding the repo's performance
+trajectory.
 
 Usage::
 
-    python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2
+    python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2 --rep-jobs 2
 """
 
 from __future__ import annotations
@@ -31,17 +33,35 @@ from repro.core.suite import BenchmarkSuite  # noqa: E402
 SMOKE_FIGURES = ["cpu-prime", "fig11", "fig12", "fig17", "fig18"]
 
 
-def run_backend(seed: int, jobs: int, figures: list[str]) -> tuple[BenchmarkSuite, float]:
-    suite = BenchmarkSuite(seed=seed, quick=True, jobs=jobs)
+def run_backend(
+    seed: int, jobs: int, figures: list[str], rep_jobs: int = 1
+) -> tuple[BenchmarkSuite, float]:
+    suite = BenchmarkSuite(seed=seed, quick=True, jobs=jobs, rep_jobs=rep_jobs)
     started = time.perf_counter()
     suite.run_all(figures)
     return suite, time.perf_counter() - started
+
+
+def compare(
+    reference: BenchmarkSuite, candidate: BenchmarkSuite, figures: list[str]
+) -> list[str]:
+    """Figure ids whose summaries differ between the two suites."""
+    return [
+        figure_id
+        for figure_id in figures
+        if reference.run_figure(figure_id).comparable_dict()
+        != candidate.run_figure(figure_id).comparable_dict()
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--jobs", type=int, default=2, help="pool width for the parallel leg")
+    parser.add_argument(
+        "--rep-jobs", type=int, default=2,
+        help="pool width for the repetition-parallel leg",
+    )
     parser.add_argument("--out", default="bench-artifacts", help="artifact directory")
     parser.add_argument(
         "--figures", nargs="*", default=SMOKE_FIGURES, help="figure subset to exercise"
@@ -50,17 +70,16 @@ def main(argv: list[str] | None = None) -> int:
 
     serial_suite, serial_wall = run_backend(args.seed, 1, args.figures)
     parallel_suite, parallel_wall = run_backend(args.seed, args.jobs, args.figures)
+    rep_suite, rep_wall = run_backend(args.seed, 1, args.figures, rep_jobs=args.rep_jobs)
 
-    mismatches = []
-    for figure_id in args.figures:
-        serial = serial_suite.run_figure(figure_id).comparable_dict()
-        parallel = parallel_suite.run_figure(figure_id).comparable_dict()
-        if serial != parallel:
-            mismatches.append(figure_id)
+    pool_mismatches = compare(serial_suite, parallel_suite, args.figures)
+    rep_mismatches = compare(serial_suite, rep_suite, args.figures)
+    mismatches = sorted(set(pool_mismatches) | set(rep_mismatches))
     status = "ok" if not mismatches else f"MISMATCH: {', '.join(mismatches)}"
     print(
         f"smoke[{','.join(args.figures)}] seed={args.seed} "
-        f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s -> {status}"
+        f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s "
+        f"rep-jobs={args.rep_jobs}={rep_wall:.2f}s -> {status}"
     )
 
     out = pathlib.Path(args.out)
@@ -72,9 +91,13 @@ def main(argv: list[str] | None = None) -> int:
                 "figures": args.figures,
                 "serial_wall_s": round(serial_wall, 4),
                 "parallel_wall_s": round(parallel_wall, 4),
+                "rep_parallel_wall_s": round(rep_wall, 4),
                 "jobs": args.jobs,
+                "rep_jobs": args.rep_jobs,
                 "identical": not mismatches,
                 "mismatches": mismatches,
+                "pool_mismatches": pool_mismatches,
+                "rep_mismatches": rep_mismatches,
             },
             indent=2,
         )

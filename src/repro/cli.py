@@ -5,6 +5,7 @@ Installed as ``repro-bench``::
     repro-bench list                         # figures + experiment index
     repro-bench platforms                    # the platform roster
     repro-bench run fig11 [--seed N] [--quick] [--json out/] [--cache DIR]
+    repro-bench run fig11 [--rep-jobs 4]        # repetition-level pool
     repro-bench run all   [--seed N] [--quick] [--jobs 4] [--provenance]
     repro-bench findings  [--seed N] [--cache DIR]
     repro-bench hap [platform ...]
@@ -17,6 +18,7 @@ import sys
 
 from repro.core.experiment import EXPERIMENTS
 from repro.core.suite import BenchmarkSuite
+from repro.errors import ConfigurationError
 from repro.kernel.functions import KernelFunctionCatalog
 from repro.platforms import get_platform, platform_names
 from repro.security.analysis import audit_platform
@@ -45,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="execute figures across an N-worker process pool (default: serial)",
+    )
+    run.add_argument(
+        "--rep-jobs", type=int, default=1, metavar="N",
+        help="execute each figure's repetitions across an N-worker pool "
+             "(default: serial; bit-identical to serial by construction)",
     )
     run.add_argument(
         "--cache", metavar="DIR",
@@ -98,7 +105,8 @@ def _cmd_platforms() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     suite = BenchmarkSuite(
-        seed=args.seed, quick=args.quick, jobs=args.jobs, cache_dir=args.cache
+        seed=args.seed, quick=args.quick, jobs=args.jobs, rep_jobs=args.rep_jobs,
+        cache_dir=args.cache,
     )
     targets = suite.figure_ids() if args.figure == "all" else [args.figure]
     results = suite.run_all(targets)
@@ -107,8 +115,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(figure.render())
         if args.provenance and figure.provenance:
             p = figure.provenance
+            rep = p.get("rep_backend")
+            rep_note = f" rep={rep}:{p.get('rep_jobs', 1)}" if rep else ""
             print(
-                f"[provenance] backend={p['backend']} cache={p['cache']} "
+                f"[provenance] backend={p['backend']}{rep_note} cache={p['cache']} "
                 f"wall={p['wall_time_s']:.3f}s seed={p['seed']}"
             )
         print()
@@ -181,6 +191,10 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output truncated by a downstream pager/head: not an error.
         return 0
+    except ConfigurationError as exc:
+        # User error (unknown figure, bad policy...): one line, no traceback.
+        print(f"repro-bench: error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError("unreachable")
 
 

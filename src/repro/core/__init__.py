@@ -15,7 +15,15 @@
 from repro.core.stats import Summary, summarize, percentile, cdf_points
 from repro.core.results import FigureResult, ResultRow, SeriesRow
 from repro.core.experiment import Experiment, EXPERIMENTS, get_experiment
-from repro.core.runner import Runner
+from repro.core.runner import (
+    PoolMapper,
+    RepJob,
+    Runner,
+    active_rep_mapper,
+    execution_context,
+    rep_mapper,
+    run_rep_job,
+)
 from repro.core.scheduler import (
     ExecutionPolicy,
     ExperimentScheduler,
@@ -51,6 +59,12 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "Runner",
+    "RepJob",
+    "run_rep_job",
+    "rep_mapper",
+    "PoolMapper",
+    "execution_context",
+    "active_rep_mapper",
     "ExecutionPolicy",
     "ExperimentScheduler",
     "JobRecord",

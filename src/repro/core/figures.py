@@ -41,6 +41,18 @@ def _platforms(default_set: str, override: list[str] | None) -> list[str]:
     return list(override) if override is not None else list(PLATFORM_SETS[default_set])
 
 
+def _figure_runner(seed: int, scope: str) -> Runner:
+    """The shared Runner construction seam for every figure function.
+
+    Purely a construction point today — :meth:`Runner.__init__` itself
+    reads the ambient rep mapper installed by the scheduler's
+    :func:`~repro.core.runner.execution_context` — but a single seam is
+    where future figure-scoped execution policy (per-figure mappers,
+    instrumentation) lands without touching fifteen call sites.
+    """
+    return Runner(seed, scope)
+
+
 # --- Figure 5: ffmpeg ------------------------------------------------------------
 
 
@@ -48,7 +60,7 @@ def fig05_ffmpeg(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """ffmpeg H.264->H.265 re-encode time per platform (ms)."""
-    runner = Runner(seed, "fig05")
+    runner = _figure_runner(seed, "fig05")
     workload = FfmpegEncodeWorkload(threads=16, preset="slower")
     result = FigureResult(
         figure_id="fig05",
@@ -69,7 +81,7 @@ def cpu_prime_control(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """Sysbench prime verification control (events/s, single thread)."""
-    runner = Runner(seed, "cpu-prime")
+    runner = _figure_runner(seed, "cpu-prime")
     workload = SysbenchCpuWorkload()
     result = FigureResult(
         figure_id="cpu-prime",
@@ -97,7 +109,7 @@ def fig06_memory_latency(
     huge_pages: bool = False,
 ) -> FigureResult:
     """Tinymembench random-access latency vs. buffer size (ns over L1)."""
-    runner = Runner(seed, "fig06" + ("-huge" if huge_pages else ""))
+    runner = _figure_runner(seed, "fig06" + ("-huge" if huge_pages else ""))
     workload = TinymembenchLatencyWorkload(huge_pages=huge_pages)
     result = FigureResult(
         figure_id="fig06" if not huge_pages else "fig06-hugepages",
@@ -130,7 +142,7 @@ def fig07_memory_throughput(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """Tinymembench sequential copy throughput, regular + SSE2 (MiB/s)."""
-    runner = Runner(seed, "fig07")
+    runner = _figure_runner(seed, "fig07")
     workload = TinymembenchThroughputWorkload()
     result = FigureResult(
         figure_id="fig07",
@@ -161,7 +173,7 @@ def fig08_stream(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """STREAM COPY bandwidth (MiB/s), average of per-run maxima."""
-    runner = Runner(seed, "fig08")
+    runner = _figure_runner(seed, "fig08")
     workload = StreamWorkload()
     result = FigureResult(
         figure_id="fig08",
@@ -186,7 +198,7 @@ def fig09_fio_throughput(
     drop_host_cache: bool = True,
 ) -> FigureResult:
     """fio sequential 128 KiB read/write throughput (MB/s)."""
-    runner = Runner(seed, "fig09" + ("" if drop_host_cache else "-cached"))
+    runner = _figure_runner(seed, "fig09" + ("" if drop_host_cache else "-cached"))
     workload = FioThroughputWorkload(drop_host_cache=drop_host_cache)
     result = FigureResult(
         figure_id="fig09" if drop_host_cache else "fig09-cached",
@@ -220,7 +232,7 @@ def fig10_fio_latency(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """fio 4 KiB randread latency (us)."""
-    runner = Runner(seed, "fig10")
+    runner = _figure_runner(seed, "fig10")
     workload = FioLatencyWorkload()
     result = FigureResult(
         figure_id="fig10",
@@ -247,7 +259,7 @@ def fig11_iperf(
     seed: int, repetitions: int = 5, platforms: list[str] | None = None
 ) -> FigureResult:
     """iperf3 throughput (Gbit/s), maximum over repetitions."""
-    runner = Runner(seed, "fig11")
+    runner = _figure_runner(seed, "fig11")
     workload = IperfWorkload()
     result = FigureResult(
         figure_id="fig11",
@@ -276,7 +288,7 @@ def fig12_netperf(
     seed: int, repetitions: int = 5, platforms: list[str] | None = None
 ) -> FigureResult:
     """Netperf request/response P90 latency (us)."""
-    runner = Runner(seed, "fig12")
+    runner = _figure_runner(seed, "fig12")
     workload = NetperfWorkload()
     result = FigureResult(
         figure_id="fig12",
@@ -302,7 +314,7 @@ def _startup_figure(
     platforms: list[str] | None,
     methods: tuple[MeasurementMethod, ...] = (MeasurementMethod.END_TO_END,),
 ) -> FigureResult:
-    runner = Runner(seed, figure_id)
+    runner = _figure_runner(seed, figure_id)
     result = FigureResult(figure_id=figure_id, title=title, unit="ms", x_label="ms")
     for name in _platforms(platform_set, platforms):
         platform = get_platform(name)
@@ -395,7 +407,7 @@ def fig16_memcached(
     seed: int, repetitions: int = 5, platforms: list[str] | None = None
 ) -> FigureResult:
     """Memcached under YCSB workload-a (ops/s)."""
-    runner = Runner(seed, "fig16")
+    runner = _figure_runner(seed, "fig16")
     workload = MemcachedYcsbWorkload()
     result = FigureResult(
         figure_id="fig16",
@@ -415,7 +427,7 @@ def fig17_mysql(
     seed: int, repetitions: int = 3, platforms: list[str] | None = None
 ) -> FigureResult:
     """MySQL sysbench oltp_read_write TPS over 10..160 threads."""
-    runner = Runner(seed, "fig17")
+    runner = _figure_runner(seed, "fig17")
     workload = MysqlOltpWorkload()
     result = FigureResult(
         figure_id="fig17",

@@ -8,14 +8,27 @@ through this, so seed management is uniform and results are reproducible.
 Execution is separated from definition: every repetition's stream is
 derived *up-front* from the seed tree, so the repetitions are mutually
 independent and may be dispatched through any order-preserving ``mapper``
-(the built-in serial map by default; the scheduler layer supplies pool
-mappers). Results are bit-identical regardless of the mapper because no
-repetition's draws depend on another's.
+(the built-in serial map by default; thread and process pool mappers via
+:func:`rep_mapper`). Results are bit-identical regardless of the mapper
+because no repetition's draws depend on another's.
+
+Dispatch goes through the picklable module-level :class:`RepJob` /
+:func:`run_rep_job` pair rather than a closure, so process-pool mappers
+work (closures cannot cross a pool boundary).
+
+The mapper is usually not passed explicitly: the scheduler layer installs
+one ambiently via :func:`execution_context` (a ``contextvars`` scope), and
+:meth:`Runner.__init__` picks it up. Figure functions therefore gain
+repetition-level parallelism without signature changes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+import contextlib
+import contextvars
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.stats import Summary, summarize
 from repro.errors import ConfigurationError
@@ -23,14 +36,135 @@ from repro.platforms.base import Platform
 from repro.rng import RngStream, derive_seed
 from repro.workloads.base import Workload
 
-__all__ = ["Runner"]
+__all__ = [
+    "Runner",
+    "RepJob",
+    "run_rep_job",
+    "rep_mapper",
+    "PoolMapper",
+    "execution_context",
+    "active_rep_mapper",
+    "REP_BACKENDS",
+]
 
 #: An order-preserving map strategy: ``mapper(fn, items) -> results``.
 Mapper = Callable[[Callable[[Any], Any], Iterable[Any]], Iterable[Any]]
 
+#: Valid repetition-level backends (``ExecutionPolicy.rep_backend``).
+REP_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RepJob:
+    """One repetition, fully described: picklable pool-worker payload.
+
+    Carries the workload, the platform, and the repetition's pre-derived
+    :class:`~repro.rng.RngStream` — everything :meth:`run` needs, with no
+    reference back to the :class:`Runner` that built it.
+    """
+
+    workload: Workload
+    platform: Platform
+    stream: RngStream
+
+    def run(self) -> Any:
+        """Execute this repetition and return the workload's result."""
+        return self.workload.run(self.platform, self.stream)
+
+
+def run_rep_job(job: RepJob) -> Any:
+    """Module-level worker entry point (picklable by reference)."""
+    return job.run()
+
 
 def _serial_map(fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
     return [fn(item) for item in items]
+
+
+class PoolMapper:
+    """Order-preserving pool mapper with a lazily-created, reusable executor.
+
+    A figure dispatches one repetition batch *per platform*, so the worker
+    pool is created on first use and reused across calls — forking a fresh
+    process pool for every 5-rep batch would cost more than it saves.
+    Close (or use as a context manager) to release the workers; the
+    scheduler's job wrapper owns that lifetime.
+    """
+
+    def __init__(self, backend: str, jobs: int) -> None:
+        self.backend = backend
+        self.jobs = jobs
+        self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    def __call__(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        items = list(items)
+        if len(items) <= 1:
+            return _serial_map(fn, items)
+        if self._executor is None:
+            executor_class = (
+                ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+            )
+            self._executor = executor_class(max_workers=self.jobs)
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the mapper may be used again)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "PoolMapper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def rep_mapper(backend: str, jobs: int) -> Mapper:
+    """An order-preserving mapper for the given rep backend and width.
+
+    ``serial`` maps in-process; ``thread``/``process`` return a
+    :class:`PoolMapper` that fans items over a ``concurrent.futures`` pool
+    (``Executor.map`` preserves input order). A width of one collapses
+    every backend to the serial map.
+    """
+    if backend not in REP_BACKENDS:
+        raise ConfigurationError(
+            f"unknown rep backend {backend!r}; known: {', '.join(REP_BACKENDS)}"
+        )
+    if jobs < 1:
+        raise ConfigurationError(f"rep jobs must be >= 1, got {jobs}")
+    if backend == "serial" or jobs == 1:
+        return _serial_map
+    return PoolMapper(backend, jobs)
+
+
+#: The ambient rep mapper, installed by the scheduler layer around each
+#: figure execution (including inside figure-pool workers).
+_ACTIVE_REP_MAPPER: contextvars.ContextVar[Mapper | None] = contextvars.ContextVar(
+    "repro_rep_mapper", default=None
+)
+
+
+def active_rep_mapper() -> Mapper | None:
+    """The mapper installed by the innermost :func:`execution_context`."""
+    return _ACTIVE_REP_MAPPER.get()
+
+
+@contextlib.contextmanager
+def execution_context(mapper: Mapper | None) -> Iterator[None]:
+    """Install ``mapper`` as the ambient rep mapper for this context.
+
+    Every :class:`Runner` constructed inside the ``with`` block (without an
+    explicit ``mapper=``) dispatches its repetitions through it. This is
+    the policy/logic split at the repetition level: figure functions keep
+    their signatures, the caller decides where repetitions execute.
+    """
+    token = _ACTIVE_REP_MAPPER.set(mapper)
+    try:
+        yield
+    finally:
+        _ACTIVE_REP_MAPPER.reset(token)
 
 
 class Runner:
@@ -38,7 +172,7 @@ class Runner:
 
     def __init__(self, seed: int, scope: str, *, mapper: Mapper | None = None) -> None:
         self.root = RngStream(seed, scope)
-        self._map: Mapper = mapper or _serial_map
+        self._map: Mapper = mapper or active_rep_mapper() or _serial_map
 
     @staticmethod
     def job_seed(seed: int, scope: str) -> int:
@@ -93,5 +227,8 @@ class Runner:
         tag: str = "",
     ) -> list[Any]:
         """Run repeatedly and return the full result objects."""
-        streams = self.rep_streams(platform, repetitions, tag)
-        return list(self._map(lambda stream: workload.run(platform, stream), streams))
+        jobs = [
+            RepJob(workload, platform, stream)
+            for stream in self.rep_streams(platform, repetitions, tag)
+        ]
+        return list(self._map(run_rep_job, jobs))

@@ -6,7 +6,12 @@ how*. An :class:`ExperimentScheduler` turns a set of figure ids into
 ``depends_on`` edges in the experiment registry, reads each job through
 the :class:`~repro.core.store.ResultStore`, and executes the misses on a
 backend chosen by :class:`ExecutionPolicy` — serially in-process, or
-across a ``concurrent.futures`` process pool.
+across a ``concurrent.futures`` process pool. The policy also carries a
+*repetition-level* dimension (``rep_jobs``/``rep_backend``): each job
+installs an order-preserving rep mapper via
+:func:`~repro.core.runner.execution_context` before it runs, so the N
+repetitions inside one figure can fan over a thread or process pool —
+the speedup path for single-figure runs, where the figure pool is idle.
 
 Determinism is preserved by construction: every figure function builds its
 own :class:`~repro.core.runner.Runner` seed subtree from ``(seed,
@@ -21,6 +26,7 @@ Jobs are crash-isolated: an exception in one figure is captured in its
 
 from __future__ import annotations
 
+import contextlib
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -29,7 +35,14 @@ from typing import Any, Iterable, Mapping
 from repro.core.experiment import EXPERIMENTS
 from repro.core.figures import FIGURES, run_figure
 from repro.core.results import FigureResult
-from repro.core.runner import Runner
+from repro.core.runner import (
+    REP_BACKENDS,
+    Mapper,
+    PoolMapper,
+    Runner,
+    execution_context,
+    rep_mapper,
+)
 from repro.core.store import ResultStore, StoreKey
 from repro.errors import ConfigurationError
 
@@ -44,6 +57,7 @@ __all__ = [
 ]
 
 BACKEND_SERIAL = "serial"
+BACKEND_THREAD = "thread"
 BACKEND_PROCESS = "process"
 
 
@@ -58,45 +72,91 @@ def quick_overrides(figure_id: str) -> dict[str, Any]:
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
-    """How jobs execute: worker count and backend selection.
+    """How jobs execute, at both scheduling levels.
 
-    ``backend=None`` auto-selects: serial for one job slot, a process pool
-    otherwise. Serial stays the default everywhere; callers opt into the
-    pool via ``--jobs N`` / ``ExecutionPolicy(jobs=N)``.
+    The *figure* level (``jobs``/``backend``) fans independent figures over
+    a process pool; the *repetition* level (``rep_jobs``/``rep_backend``)
+    fans the N repetitions inside one figure over a thread or process pool.
+    The two compose: a figure pool worker installs the rep mapper in its
+    own process, so ``jobs=4, rep_jobs=2`` runs four figures at once, each
+    with two-way repetition parallelism.
+
+    ``backend=None`` / ``rep_backend=None`` auto-select: serial for one
+    slot, a pool otherwise (process in both cases — workloads are
+    pure-Python simulation, so only processes buy true parallelism; the
+    ``thread`` rep backend is available for callers who want pool
+    semantics without fork/pickle overhead). Serial stays the default
+    everywhere; callers opt in via ``--jobs N`` / ``--rep-jobs N``.
     """
 
     jobs: int = 1
     backend: str | None = None
+    rep_jobs: int = 1
+    rep_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
         if self.backend not in (None, BACKEND_SERIAL, BACKEND_PROCESS):
             raise ConfigurationError(f"unknown backend {self.backend!r}")
+        if self.rep_jobs < 1:
+            raise ConfigurationError(f"rep_jobs must be >= 1, got {self.rep_jobs}")
+        if self.rep_backend is not None and self.rep_backend not in REP_BACKENDS:
+            raise ConfigurationError(
+                f"unknown rep backend {self.rep_backend!r}; "
+                f"known: {', '.join(REP_BACKENDS)}"
+            )
 
     @property
     def resolved_backend(self) -> str:
-        """The concrete backend this policy selects."""
+        """The concrete figure-level backend this policy selects."""
         if self.backend is not None:
             return self.backend
         return BACKEND_PROCESS if self.jobs > 1 else BACKEND_SERIAL
 
+    @property
+    def resolved_rep_backend(self) -> str:
+        """The concrete repetition-level backend this policy selects."""
+        if self.rep_backend is not None:
+            return self.rep_backend
+        return BACKEND_PROCESS if self.rep_jobs > 1 else BACKEND_SERIAL
+
+    def mapper(self) -> Mapper:
+        """The order-preserving rep mapper this policy prescribes."""
+        return rep_mapper(self.resolved_rep_backend, self.rep_jobs)
+
     @classmethod
     def serial(cls) -> "ExecutionPolicy":
-        return cls(jobs=1, backend=BACKEND_SERIAL)
+        return cls(jobs=1, backend=BACKEND_SERIAL, rep_jobs=1, rep_backend=BACKEND_SERIAL)
 
 
 @dataclass(frozen=True)
 class ExperimentJob:
-    """One schedulable figure execution (picklable)."""
+    """One schedulable figure execution (picklable).
+
+    ``rep_backend``/``rep_jobs`` describe *where* the job's repetitions
+    run; they travel with the job (contextvars do not cross a process
+    pool) but are execution policy, not identity — they never enter the
+    store key, because every rep backend is bit-identical by construction.
+    """
 
     figure_id: str
     seed: int
     kwargs: tuple[tuple[str, Any], ...]
     job_seed: int
+    rep_backend: str = BACKEND_SERIAL
+    rep_jobs: int = 1
 
     @classmethod
-    def build(cls, figure_id: str, seed: int, kwargs: dict[str, Any]) -> "ExperimentJob":
+    def build(
+        cls,
+        figure_id: str,
+        seed: int,
+        kwargs: dict[str, Any],
+        *,
+        rep_backend: str = BACKEND_SERIAL,
+        rep_jobs: int = 1,
+    ) -> "ExperimentJob":
         """Create a job; its identity seed comes from the shared seed tree."""
         frozen = tuple(sorted(kwargs.items(), key=lambda item: item[0]))
         return cls(
@@ -104,6 +164,8 @@ class ExperimentJob:
             seed=int(seed),
             kwargs=_freeze_kwargs(frozen),
             job_seed=Runner.job_seed(seed, figure_id),
+            rep_backend=rep_backend,
+            rep_jobs=rep_jobs,
         )
 
     def kwargs_dict(self) -> dict[str, Any]:
@@ -129,10 +191,21 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
     Times and crash-isolates in-worker, so provenance reports each job's
     own duration (success or failure) rather than submission-order queue
     latency, and a raising figure never tears down the pool.
+
+    Installs the job's rep mapper via :func:`execution_context` here, in
+    the executing process, so the figure's :class:`Runner` picks it up
+    whether the job runs in-process or inside a figure-pool worker.
     """
     started = time.perf_counter()
     try:
-        result = run_figure(job.figure_id, job.seed, **job.kwargs_dict())
+        mapper = rep_mapper(job.rep_backend, job.rep_jobs)
+        with contextlib.ExitStack() as stack:
+            if isinstance(mapper, PoolMapper):
+                # The rep pool is reused across the figure's platform
+                # batches; release its workers when the job finishes.
+                stack.enter_context(mapper)
+            stack.enter_context(execution_context(mapper))
+            result = run_figure(job.figure_id, job.seed, **job.kwargs_dict())
         return result, None, time.perf_counter() - started
     except Exception as exc:
         return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started
@@ -150,6 +223,10 @@ class JobRecord:
     job_seed: int
     batch: int
     error: str | None = None
+    #: Repetition-level backend the job ran with (None for cache hits —
+    #: nothing executed, so no rep dispatch happened).
+    rep_backend: str | None = None
+    rep_jobs: int = 1
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -161,6 +238,8 @@ class JobRecord:
             "job_seed": self.job_seed,
             "batch": self.batch,
             "error": self.error,
+            "rep_backend": self.rep_backend,
+            "rep_jobs": self.rep_jobs,
         }
 
 
@@ -326,7 +405,18 @@ class ExperimentScheduler:
                 )
                 continue
             kwargs = self.effective_kwargs(figure_id, figure_overrides)
-            pending.append((ExperimentJob.build(figure_id, self.seed, kwargs), key))
+            pending.append(
+                (
+                    ExperimentJob.build(
+                        figure_id,
+                        self.seed,
+                        kwargs,
+                        rep_backend=self.policy.resolved_rep_backend,
+                        rep_jobs=self.policy.rep_jobs,
+                    ),
+                    key,
+                )
+            )
         if not pending:
             return
         backend = self.policy.resolved_backend
@@ -346,11 +436,16 @@ class ExperimentScheduler:
                 job_seed=job.job_seed,
                 batch=batch_index,
                 error=error,
+                rep_backend=job.rep_backend,
+                rep_jobs=job.rep_jobs,
             )
             report.records.append(record)
             if result is None:
                 continue
-            self._attach_provenance(result, key, backend, False, elapsed, job.job_seed)
+            self._attach_provenance(
+                result, key, backend, False, elapsed, job.job_seed,
+                rep_backend=job.rep_backend, rep_jobs=job.rep_jobs,
+            )
             if self.store is not None:
                 self.store.put(key, result)
             report.results[job.figure_id] = result
@@ -365,10 +460,12 @@ class ExperimentScheduler:
     ) -> list[JobOutcome]:
         workers = min(self.policy.jobs, len(pending))
         outcomes: list[JobOutcome] = []
-        started = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_job, job) for job, _key in pending]
             for future in futures:
+                # Per-future clock: a failed job reports the wait for *its*
+                # future, not time accumulated since the pool started.
+                started = time.perf_counter()
                 try:
                     outcomes.append(future.result())
                 except Exception as exc:
@@ -387,9 +484,13 @@ class ExperimentScheduler:
         cache_hit: bool,
         wall_time_s: float,
         job_seed: int,
+        rep_backend: str | None = None,
+        rep_jobs: int = 1,
     ) -> None:
         result.metadata["provenance"] = {
             "backend": backend,
+            "rep_backend": rep_backend,
+            "rep_jobs": rep_jobs,
             "cache": "hit" if cache_hit else "miss",
             "wall_time_s": round(wall_time_s, 6),
             "seed": self.seed,

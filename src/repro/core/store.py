@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -131,10 +132,18 @@ class StoreKey:
 class ResultStore:
     """On-disk cache of figure results, addressed by :class:`StoreKey`."""
 
+    #: Init-time sweep ignores temps younger than this: a put() holds its
+    #: temp for milliseconds, so anything older is an orphan, while an
+    #: age gate keeps a concurrent process's in-flight write safe.
+    STALE_TEMP_AGE_S = 3600.0
+
     def __init__(self, root: str | pathlib.Path) -> None:
         self.root = pathlib.Path(root)
         self._hits = 0
         self._misses = 0
+        # A process that died between temp-write and rename leaves a
+        # *.tmp-<pid> file behind forever; adopt-and-sweep on open.
+        self._sweep_stale_temps(max_age_s=self.STALE_TEMP_AGE_S)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore(root={str(self.root)!r})"
@@ -204,10 +213,36 @@ class ResultStore:
                 continue
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry (and stale temp file); returns files removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed + self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self, max_age_s: float | None = None) -> int:
+        """Remove orphaned ``*.tmp-<pid>`` files from interrupted writes.
+
+        Temps written by *this* process are always spared — they may be an
+        in-flight :meth:`put` on another thread. With ``max_age_s`` set
+        (the init-time sweep), other processes' temps are only removed
+        once older than the threshold, so a concurrently *live* writer
+        sharing the cache directory never loses its in-flight file;
+        :meth:`clear` passes ``None`` and removes them regardless of age.
+        """
+        removed = 0
+        own_suffix = f".tmp-{os.getpid()}"
+        if self.root.is_dir():
+            now = time.time()
+            for path in self.root.glob("*.tmp-*"):
+                if path.suffix == own_suffix:
+                    continue
+                try:
+                    if max_age_s is not None and now - path.stat().st_mtime < max_age_s:
+                        continue
+                except OSError:
+                    continue  # raced: the writer renamed or removed it
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed

@@ -7,14 +7,15 @@ the paper's findings, and archives everything as JSON.
 Execution goes through the :class:`~repro.core.scheduler.ExperimentScheduler`
 layer: results are read through an optional persistent
 :class:`~repro.core.store.ResultStore` before any workload runs, and the
-whole evaluation can execute across a process pool (``jobs=N``) with
+whole evaluation can execute across a process pool (``jobs=N``) — and
+each figure's repetitions across their own pool (``rep_jobs=N``) — with
 bit-identical output to the serial default.
 
 Example::
 
     from repro import BenchmarkSuite
 
-    suite = BenchmarkSuite(seed=42, jobs=4, cache_dir="results-cache")
+    suite = BenchmarkSuite(seed=42, jobs=4, rep_jobs=2, cache_dir="results-cache")
     print(suite.run_figure("fig11").render())
     report = suite.findings_report()
 """
@@ -50,6 +51,7 @@ class BenchmarkSuite:
         *,
         quick: bool = False,
         jobs: int = 1,
+        rep_jobs: int = 1,
         policy: ExecutionPolicy | None = None,
         cache_dir: str | pathlib.Path | None = None,
         store: ResultStore | None = None,
@@ -57,7 +59,7 @@ class BenchmarkSuite:
         self.seed = seed
         self.quick = quick
         self.machine = paper_testbed()
-        self.policy = policy or ExecutionPolicy(jobs=jobs)
+        self.policy = policy or ExecutionPolicy(jobs=jobs, rep_jobs=rep_jobs)
         self.store = store if store is not None else (
             ResultStore(cache_dir) if cache_dir is not None else None
         )
@@ -194,6 +196,8 @@ class BenchmarkSuite:
             f"Simulated testbed: {self.machine.describe()}\n"
             f"Execution: backend={self.policy.resolved_backend} "
             f"jobs={self.policy.jobs} "
+            f"rep_backend={self.policy.resolved_rep_backend} "
+            f"rep_jobs={self.policy.rep_jobs} "
             f"store={self.store.root if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
         )
@@ -228,6 +232,8 @@ class BenchmarkSuite:
                     "quick": self.quick,
                     "backend": self.policy.resolved_backend,
                     "jobs": self.policy.jobs,
+                    "rep_backend": self.policy.resolved_rep_backend,
+                    "rep_jobs": self.policy.rep_jobs,
                     "machine": self.machine.describe(),
                     "figures": [p.name for p in written],
                     "provenance": provenance,

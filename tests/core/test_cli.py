@@ -84,6 +84,29 @@ class TestCommands:
         assert out.count("\n") == 2
         assert "1." in out and "2." in out
 
-    def test_advise_rejects_bad_weights(self):
-        with pytest.raises(Exception):
-            main(["advise", "--cpu", "3.0"])
+    def test_advise_rejects_bad_weights(self, capsys):
+        # User errors surface as a one-line stderr message + exit 2,
+        # not a traceback.
+        assert main(["advise", "--cpu", "3.0"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-bench: error:" in err and "weight cpu" in err
+
+    def test_unknown_figure_is_a_clean_error(self, capsys):
+        assert main(["run", "fig99-typo", "--quick"]) == 2
+        captured = capsys.readouterr()
+        assert "repro-bench: error:" in captured.err
+        assert "unknown figure" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_run_rep_jobs_flag(self, capsys):
+        assert main(["run", "fig11", "--quick", "--rep-jobs", "2", "--provenance"]) == 0
+        out = capsys.readouterr().out
+        assert "iperf3" in out
+        assert "rep=process:2" in out
+
+    def test_rep_jobs_results_match_serial(self, capsys):
+        assert main(["run", "fig12", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "fig12", "--quick", "--rep-jobs", "3"]) == 0
+        rep_out = capsys.readouterr().out
+        assert rep_out == serial_out

@@ -1,0 +1,297 @@
+"""Tests for repetition-level parallelism.
+
+Covers the issue's tentpole checklist: the picklable RepJob worker (the
+closure in ``collect_results`` broke every process-pool mapper), the
+serial/thread/process rep mappers and their order preservation, the
+``execution_context`` plumbing from ExecutionPolicy down to Runner, and
+serial-vs-parallel bit-identity at every layer (runner, scheduler, suite).
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.core.runner import (
+    REP_BACKENDS,
+    PoolMapper,
+    RepJob,
+    Runner,
+    active_rep_mapper,
+    execution_context,
+    rep_mapper,
+    run_rep_job,
+)
+from repro.core.scheduler import (
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    BACKEND_THREAD,
+    ExecutionPolicy,
+    ExperimentJob,
+    ExperimentScheduler,
+)
+from repro.core.store import ResultStore
+from repro.core.suite import BenchmarkSuite
+from repro.errors import ConfigurationError
+from repro.platforms import get_platform
+from repro.workloads.iperf import IperfWorkload
+
+#: Representative figure subset: bar figures, a series figure, and the
+#: deterministic HAP table — all fast in quick mode.
+SUBSET = ["cpu-prime", "fig06", "fig11", "fig12", "fig18"]
+
+
+def _sleepy_identity(item):
+    """Completes out of submission order: earlier items sleep longer.
+
+    Module-level so the process mapper can pickle it.
+    """
+    index, total = item
+    time.sleep(0.02 * (total - index))
+    return index
+
+
+class TestRepJobPickling:
+    """Regression: the old closure-based dispatch broke pool mappers."""
+
+    def test_rep_job_round_trips_through_pickle(self):
+        runner = Runner(42, "fig11")
+        platform = get_platform("docker")
+        stream = runner.rep_streams(platform, 3)[1]
+        job = RepJob(IperfWorkload(), platform, stream)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.stream.path == job.stream.path
+        assert clone.stream.seed == job.stream.seed
+        # The round-tripped job reproduces the exact same draw.
+        assert clone.run().throughput_gbit_per_s == job.run().throughput_gbit_per_s
+
+    def test_worker_function_round_trips_through_pickle(self):
+        # Pool executors pickle the callable by reference; a module-level
+        # function survives, a closure would not.
+        assert pickle.loads(pickle.dumps(run_rep_job)) is run_rep_job
+
+    def test_process_mapper_through_runner(self):
+        # The old lambda-based dispatch raised PicklingError here.
+        serial = Runner(42, "fig11").collect(
+            IperfWorkload(), get_platform("docker"), 4, lambda r: r.throughput_gbit_per_s
+        )
+        with rep_mapper("process", 2) as mapper:
+            pooled = Runner(42, "fig11", mapper=mapper).collect(
+                IperfWorkload(),
+                get_platform("docker"),
+                4,
+                lambda r: r.throughput_gbit_per_s,
+            )
+        assert pooled == serial
+
+
+class TestRepMappers:
+    def test_serial_backend_and_width_one_collapse(self):
+        assert rep_mapper("serial", 8)(lambda x: x + 1, [1, 2]) == [2, 3]
+        assert not isinstance(rep_mapper("thread", 1), PoolMapper)
+        assert not isinstance(rep_mapper("process", 1), PoolMapper)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="rep backend"):
+            rep_mapper("gpu", 2)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            rep_mapper("thread", 0)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_order_preserved_under_out_of_order_completion(self, backend):
+        total = 4
+        items = [(index, total) for index in range(total)]
+        with rep_mapper(backend, total) as mapper:
+            assert mapper(_sleepy_identity, items) == list(range(total))
+
+    def test_pool_is_reused_across_batches(self):
+        mapper = rep_mapper("thread", 2)
+        try:
+            mapper(_sleepy_identity, [(0, 2), (1, 2)])
+            first = mapper._executor
+            assert first is not None
+            mapper(_sleepy_identity, [(0, 2), (1, 2)])
+            assert mapper._executor is first
+        finally:
+            mapper.close()
+        assert mapper._executor is None
+
+    def test_single_item_skips_the_pool(self):
+        mapper = rep_mapper("process", 4)
+        try:
+            assert mapper(_sleepy_identity, [(0, 1)]) == [0]
+            assert mapper._executor is None  # never forked a worker
+        finally:
+            mapper.close()
+
+
+class TestExecutionContext:
+    def test_runner_picks_up_ambient_mapper(self):
+        seen = []
+
+        def recording_map(fn, items):
+            items = list(items)
+            seen.append(len(items))
+            return [fn(item) for item in items]
+
+        with execution_context(recording_map):
+            Runner(42, "fig11").collect(
+                IperfWorkload(), get_platform("docker"), 3,
+                lambda r: r.throughput_gbit_per_s,
+            )
+        assert seen == [3]
+
+    def test_context_resets_on_exit(self):
+        assert active_rep_mapper() is None
+        with execution_context(lambda fn, items: [fn(i) for i in items]):
+            assert active_rep_mapper() is not None
+        assert active_rep_mapper() is None
+
+    def test_explicit_mapper_wins_over_context(self):
+        explicit, ambient = [], []
+
+        def explicit_map(fn, items):
+            explicit.append(True)
+            return [fn(item) for item in items]
+
+        def ambient_map(fn, items):
+            ambient.append(True)
+            return [fn(item) for item in items]
+
+        with execution_context(ambient_map):
+            Runner(42, "fig11", mapper=explicit_map).collect(
+                IperfWorkload(), get_platform("docker"), 2,
+                lambda r: r.throughput_gbit_per_s,
+            )
+        assert explicit and not ambient
+
+    def test_rep_streams_order_is_by_index(self):
+        runner = Runner(42, "fig11")
+        streams = runner.rep_streams(get_platform("docker"), 4)
+        assert [s.path.rsplit("/", 1)[-1] for s in streams] == [
+            "rep-0", "rep-1", "rep-2", "rep-3"
+        ]
+        # Reordered dispatch cannot change what each rep draws: streams are
+        # pre-derived from the index, not from execution order.
+        again = runner.rep_streams(get_platform("docker"), 4)
+        assert [s.seed for s in streams] == [s.seed for s in again]
+
+
+class TestPolicyRepDimension:
+    def test_defaults_stay_serial(self):
+        policy = ExecutionPolicy()
+        assert policy.rep_jobs == 1
+        assert policy.resolved_rep_backend == BACKEND_SERIAL
+        assert not isinstance(policy.mapper(), PoolMapper)
+
+    def test_rep_jobs_opt_into_pool(self):
+        policy = ExecutionPolicy(rep_jobs=3)
+        assert policy.resolved_rep_backend == BACKEND_PROCESS
+        mapper = policy.mapper()
+        assert isinstance(mapper, PoolMapper)
+        assert mapper.jobs == 3
+
+    def test_explicit_rep_backend_wins(self):
+        policy = ExecutionPolicy(rep_jobs=3, rep_backend=BACKEND_THREAD)
+        assert policy.resolved_rep_backend == BACKEND_THREAD
+
+    def test_invalid_rep_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(rep_jobs=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(rep_backend="gpu")
+
+    def test_serial_classmethod_pins_both_levels(self):
+        policy = ExecutionPolicy.serial()
+        assert policy.resolved_backend == BACKEND_SERIAL
+        assert policy.resolved_rep_backend == BACKEND_SERIAL
+
+    def test_rep_backends_constant_matches_scheduler_names(self):
+        assert set(REP_BACKENDS) == {BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS}
+
+    def test_jobs_carry_the_rep_policy(self):
+        job = ExperimentJob.build("fig11", 42, {}, rep_backend=BACKEND_THREAD, rep_jobs=2)
+        assert job.rep_backend == BACKEND_THREAD
+        assert job.rep_jobs == 2
+        # Rep policy is execution detail, not identity.
+        assert job.job_seed == ExperimentJob.build("fig11", 42, {}).job_seed
+
+
+class TestRepLevelDeterminism:
+    """Serial vs thread vs process rep backends are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return ExperimentScheduler(42, quick=True).run(SUBSET)
+
+    @pytest.mark.parametrize("backend", [BACKEND_THREAD, BACKEND_PROCESS])
+    def test_rep_backends_bit_identical_to_serial(self, serial_report, backend):
+        policy = ExecutionPolicy(rep_jobs=2, rep_backend=backend)
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(SUBSET)
+        for figure_id in SUBSET:
+            assert (
+                report.results[figure_id].comparable_dict()
+                == serial_report.results[figure_id].comparable_dict()
+            ), figure_id
+
+    def test_figure_pool_composes_with_rep_pool(self, serial_report):
+        policy = ExecutionPolicy(jobs=2, rep_jobs=2, rep_backend=BACKEND_THREAD)
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(SUBSET)
+        for figure_id in SUBSET:
+            assert (
+                report.results[figure_id].comparable_dict()
+                == serial_report.results[figure_id].comparable_dict()
+            ), figure_id
+        assert {r.backend for r in report.records} == {BACKEND_PROCESS}
+        assert {r.rep_backend for r in report.records} == {BACKEND_THREAD}
+
+    def test_rep_backend_recorded_in_provenance(self):
+        policy = ExecutionPolicy(rep_jobs=2, rep_backend=BACKEND_THREAD)
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(["fig11"])
+        provenance = report.results["fig11"].provenance
+        assert provenance["rep_backend"] == BACKEND_THREAD
+        assert provenance["rep_jobs"] == 2
+        record = report.record_for("fig11")
+        assert record.rep_backend == BACKEND_THREAD
+        assert record.rep_jobs == 2
+        assert record.to_dict()["rep_backend"] == BACKEND_THREAD
+
+    def test_cache_hits_have_no_rep_backend(self, tmp_path):
+        store = ResultStore(tmp_path)
+        policy = ExecutionPolicy(rep_jobs=2, rep_backend=BACKEND_THREAD)
+        ExperimentScheduler(42, quick=True, policy=policy, store=store).run(["fig11"])
+        warm = ExperimentScheduler(42, quick=True, policy=policy, store=store).run(
+            ["fig11"]
+        )
+        record = warm.record_for("fig11")
+        assert record.cache_hit
+        assert record.rep_backend is None
+        # ... and a store hit is bit-identical to a rep-parallel execution.
+        cold = ExperimentScheduler(42, quick=True).run(["fig11"])
+        assert (
+            warm.results["fig11"].comparable_dict()
+            == cold.results["fig11"].comparable_dict()
+        )
+
+    def test_suite_rep_jobs_bit_identical(self):
+        serial = BenchmarkSuite(seed=42, quick=True).run_figure("fig12")
+        parallel = BenchmarkSuite(seed=42, quick=True, rep_jobs=2).run_figure("fig12")
+        assert parallel.comparable_dict() == serial.comparable_dict()
+        assert parallel.provenance["rep_backend"] == BACKEND_PROCESS
+
+    def test_suite_describe_shows_rep_policy(self):
+        suite = BenchmarkSuite(seed=42, rep_jobs=2)
+        assert "rep_backend=process" in suite.describe()
+        assert "rep_jobs=2" in suite.describe()
+
+    def test_suite_manifest_records_rep_policy(self, tmp_path):
+        suite = BenchmarkSuite(seed=42, quick=True, rep_jobs=2)
+        suite.run_figure("fig11")
+        suite.save_results(tmp_path)
+        import json
+
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["rep_backend"] == BACKEND_PROCESS
+        assert manifest["rep_jobs"] == 2

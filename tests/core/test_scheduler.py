@@ -174,3 +174,25 @@ class TestCrashIsolation:
     def test_unknown_figure_rejected_up_front(self):
         with pytest.raises(ConfigurationError, match="fig99"):
             ExperimentScheduler(42).run(["fig99"])
+
+    def test_pool_infrastructure_failure_timed_per_future(self):
+        # Regression: infrastructure failures (here an unpicklable job
+        # payload) used to be stamped with time accumulated since the pool
+        # started, so a failed job riding behind a slow one reported the
+        # slow job's wall time. The failed future resolves instantly; only
+        # the wait for *it* may be charged.
+        import dataclasses
+
+        scheduler = ExperimentScheduler(42, policy=ExecutionPolicy(jobs=2))
+        slow = ExperimentJob.build("fig13", 42, {"startups": 120})
+        good = ExperimentJob.build("fig13", 42, {})
+        bad = dataclasses.replace(good, kwargs=(("metric", lambda r: r),))
+        key = scheduler.key_for("fig13")
+        outcomes = scheduler._run_pool([(slow, key), (bad, key)])
+        slow_result, slow_error, slow_elapsed = outcomes[0]
+        bad_result, bad_error, bad_elapsed = outcomes[1]
+        assert slow_result is not None and slow_error is None
+        assert bad_result is None and "pickle" in bad_error.lower()
+        # The bad future had already failed while the slow one ran; its
+        # reported time must not include the slow job's execution.
+        assert bad_elapsed < slow_elapsed / 2

@@ -137,3 +137,66 @@ class TestResultStore:
         assert all(entry["figure_id"] == "figX" for entry in listed)
         assert store.clear() == 2
         assert list(store.entries()) == []
+
+
+class TestStaleTempSweep:
+    """A crash between temp-write and rename must not leak files forever."""
+
+    @staticmethod
+    def orphan(tmp_path, pid=999_999_999, age_s=7200.0):
+        # What put() leaves behind when the process dies mid-write: the
+        # pid is fictitious, so the writer is certainly gone. Backdate
+        # the mtime so the file is past the init sweep's age gate.
+        import os
+        import time
+
+        path = tmp_path / f"figX-abcdef{pid}.tmp-{pid}"
+        path.write_text("{half-written")
+        if age_s:
+            stamp = time.time() - age_s
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_clear_removes_stale_temps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(StoreKey.for_run("figX", 42, False, None), sample_result())
+        # clear() is an explicit wipe: even a *fresh* foreign temp goes.
+        orphan = self.orphan(tmp_path, age_s=0)
+        assert store.clear() == 2  # one entry + one orphan
+        assert not orphan.exists()
+
+    def test_init_sweeps_stale_temps(self, tmp_path):
+        key = StoreKey.for_run("figX", 42, False, None)
+        ResultStore(tmp_path).put(key, sample_result())
+        orphan = self.orphan(tmp_path)
+        reopened = ResultStore(tmp_path)
+        assert not orphan.exists()
+        # ... and real entries survive the sweep.
+        assert reopened.get(key) is not None
+
+    def test_init_sweep_spares_recent_foreign_temps(self, tmp_path):
+        # A concurrent live process sharing the cache dir may be mid-put;
+        # its fresh temp must survive another store's init sweep.
+        in_flight = self.orphan(tmp_path, age_s=0)
+        ResultStore(tmp_path)
+        assert in_flight.exists()
+
+    def test_sweep_spares_own_in_flight_temps(self, tmp_path):
+        import os
+
+        own = self.orphan(tmp_path, pid=os.getpid())
+        other = self.orphan(tmp_path)
+        store = ResultStore(tmp_path)
+        assert own.exists() and not other.exists()
+        # clear() also leaves this process's in-flight temp alone.
+        assert store.clear() == 0
+        assert own.exists()
+
+    def test_put_still_atomic_after_sweep(self, tmp_path):
+        self.orphan(tmp_path)
+        store = ResultStore(tmp_path)
+        key = StoreKey.for_run("figX", 42, False, None)
+        path = store.put(key, sample_result())
+        assert path.exists()
+        assert store.get(key) is not None
+        assert list(tmp_path.glob("*.tmp-*")) == []  # put renamed its temp away
