@@ -2,15 +2,15 @@
 
 Runs a small figure subset through ``BenchmarkSuite(quick=True)`` three
 times — once on the serial backend, once across a figure-level process
-pool, and once with repetition-level parallelism (``rep_jobs``) — and
-asserts all summaries are bit-identical, then archives the pool run's
-JSON + manifest as the CI artifact. The emitted ``BENCH_smoke.json``
+pool, and once with the flat (platform x rep) grid pool (``grid_jobs``)
+— and asserts all summaries are bit-identical, then archives the pool
+run's JSON + manifest as the CI artifact. The emitted ``BENCH_smoke.json``
 records per-backend wall times, seeding the repo's performance
 trajectory.
 
 Usage::
 
-    python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2 --rep-jobs 2
+    python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2 --grid-jobs 2
 """
 
 from __future__ import annotations
@@ -29,14 +29,15 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 from repro.core.suite import BenchmarkSuite  # noqa: E402
 
 #: Small, fast subset spanning bar figures, series figures, and the
-#: deterministic HAP table.
-SMOKE_FIGURES = ["cpu-prime", "fig11", "fig12", "fig17", "fig18"]
+#: deterministic HAP table. fig05 is the acceptance gate for grid-level
+#: parallelism (widest roster: 9 platforms).
+SMOKE_FIGURES = ["fig05", "cpu-prime", "fig11", "fig12", "fig17", "fig18"]
 
 
 def run_backend(
-    seed: int, jobs: int, figures: list[str], rep_jobs: int = 1
+    seed: int, jobs: int, figures: list[str], grid_jobs: int = 1
 ) -> tuple[BenchmarkSuite, float]:
-    suite = BenchmarkSuite(seed=seed, quick=True, jobs=jobs, rep_jobs=rep_jobs)
+    suite = BenchmarkSuite(seed=seed, quick=True, jobs=jobs, grid_jobs=grid_jobs)
     started = time.perf_counter()
     suite.run_all(figures)
     return suite, time.perf_counter() - started
@@ -59,8 +60,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--jobs", type=int, default=2, help="pool width for the parallel leg")
     parser.add_argument(
-        "--rep-jobs", type=int, default=2,
-        help="pool width for the repetition-parallel leg",
+        "--grid-jobs", type=int, default=2,
+        help="pool width for the flat-grid leg",
     )
     parser.add_argument("--out", default="bench-artifacts", help="artifact directory")
     parser.add_argument(
@@ -70,16 +71,16 @@ def main(argv: list[str] | None = None) -> int:
 
     serial_suite, serial_wall = run_backend(args.seed, 1, args.figures)
     parallel_suite, parallel_wall = run_backend(args.seed, args.jobs, args.figures)
-    rep_suite, rep_wall = run_backend(args.seed, 1, args.figures, rep_jobs=args.rep_jobs)
+    grid_suite, grid_wall = run_backend(args.seed, 1, args.figures, grid_jobs=args.grid_jobs)
 
     pool_mismatches = compare(serial_suite, parallel_suite, args.figures)
-    rep_mismatches = compare(serial_suite, rep_suite, args.figures)
-    mismatches = sorted(set(pool_mismatches) | set(rep_mismatches))
+    grid_mismatches = compare(serial_suite, grid_suite, args.figures)
+    mismatches = sorted(set(pool_mismatches) | set(grid_mismatches))
     status = "ok" if not mismatches else f"MISMATCH: {', '.join(mismatches)}"
     print(
         f"smoke[{','.join(args.figures)}] seed={args.seed} "
         f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s "
-        f"rep-jobs={args.rep_jobs}={rep_wall:.2f}s -> {status}"
+        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s -> {status}"
     )
 
     out = pathlib.Path(args.out)
@@ -91,13 +92,13 @@ def main(argv: list[str] | None = None) -> int:
                 "figures": args.figures,
                 "serial_wall_s": round(serial_wall, 4),
                 "parallel_wall_s": round(parallel_wall, 4),
-                "rep_parallel_wall_s": round(rep_wall, 4),
+                "grid_parallel_wall_s": round(grid_wall, 4),
                 "jobs": args.jobs,
-                "rep_jobs": args.rep_jobs,
+                "grid_jobs": args.grid_jobs,
                 "identical": not mismatches,
                 "mismatches": mismatches,
                 "pool_mismatches": pool_mismatches,
-                "rep_mismatches": rep_mismatches,
+                "grid_mismatches": grid_mismatches,
             },
             indent=2,
         )

@@ -4,11 +4,15 @@ Installed as ``repro-bench``::
 
     repro-bench list                         # figures + experiment index
     repro-bench platforms                    # the platform roster
-    repro-bench run fig11 [--seed N] [--quick] [--json out/] [--cache DIR]
-    repro-bench run fig11 [--rep-jobs 4]        # repetition-level pool
-    repro-bench run all   [--seed N] [--quick] [--jobs 4] [--provenance]
-    repro-bench findings  [--seed N] [--cache DIR]
+    repro-bench [--seed N] run fig11 [--quick] [--json out/] [--cache DIR]
+    repro-bench run fig11 [--grid-jobs 4]       # flat (platform x rep) pool
+    repro-bench [--seed N] run all [--quick] [--jobs 4] [--provenance]
+    repro-bench run all   [--dry-run]           # print lowered grids only
+    repro-bench plan fig09 [--quick]            # inspect one figure's grid
+    repro-bench [--seed N] findings [--cache DIR]
     repro-bench hap [platform ...]
+
+``--seed`` is a global option and precedes the subcommand.
 """
 
 from __future__ import annotations
@@ -49,17 +53,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute figures across an N-worker process pool (default: serial)",
     )
     run.add_argument(
-        "--rep-jobs", type=int, default=1, metavar="N",
-        help="execute each figure's repetitions across an N-worker pool "
-             "(default: serial; bit-identical to serial by construction)",
+        "--grid-jobs", "--rep-jobs", dest="grid_jobs", type=int, default=1,
+        metavar="N",
+        help="execute each figure's flat (platform x rep) grid across an "
+             "N-worker pool (default: serial; bit-identical to serial by "
+             "construction; --rep-jobs is the deprecated alias)",
     )
     run.add_argument(
         "--cache", metavar="DIR",
         help="persistent result store; warm entries skip execution entirely",
     )
     run.add_argument(
+        "--cache-max-mb", type=int, default=None, metavar="N",
+        help="bound the result store to N MiB, evicting least-recently-read "
+             "entries after writes (requires --cache)",
+    )
+    run.add_argument(
         "--provenance", action="store_true",
         help="print backend/cache/wall-time for each figure",
+    )
+    run.add_argument(
+        "--dry-run", action="store_true",
+        help="print each figure's lowered grid (platforms x reps, exclusions, "
+             "backend) without executing anything",
+    )
+
+    plan = subparsers.add_parser(
+        "plan", help="print one figure's lowered (platform x rep) grid"
+    )
+    plan.add_argument("figure", help="figure id (fig05..fig18, cpu-prime)")
+    plan.add_argument("--quick", action="store_true", help="reduced repetitions")
+    plan.add_argument(
+        "--grid-jobs", dest="grid_jobs", type=int, default=1, metavar="N",
+        help="grid pool width the plan would run with",
     )
 
     findings = subparsers.add_parser("findings", help="check the 28 findings")
@@ -103,28 +129,59 @@ def _cmd_platforms() -> int:
     return 0
 
 
+def _print_grids(suite: BenchmarkSuite, targets: list[str]) -> None:
+    # Describe with the suite's own policy, so a dry run reports exactly
+    # the backend/width a real run of this suite would use.
+    policy = suite.policy
+    for figure_id in targets:
+        grid = suite.plan_figure(figure_id)
+        print(
+            grid.describe(
+                backend=policy.resolved_grid_backend, workers=policy.grid_jobs
+            )
+        )
+        print()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.cache_max_mb is not None and not args.cache:
+        raise ConfigurationError("--cache-max-mb requires --cache DIR")
     suite = BenchmarkSuite(
-        seed=args.seed, quick=args.quick, jobs=args.jobs, rep_jobs=args.rep_jobs,
+        seed=args.seed, quick=args.quick, jobs=args.jobs, grid_jobs=args.grid_jobs,
         cache_dir=args.cache,
+        cache_max_bytes=(
+            args.cache_max_mb * 1024 * 1024 if args.cache_max_mb is not None else None
+        ),
     )
     targets = suite.figure_ids() if args.figure == "all" else [args.figure]
+    if args.dry_run:
+        _print_grids(suite, targets)
+        return 0
     results = suite.run_all(targets)
     for figure_id in targets:
         figure = results[figure_id]
         print(figure.render())
         if args.provenance and figure.provenance:
             p = figure.provenance
-            rep = p.get("rep_backend")
-            rep_note = f" rep={rep}:{p.get('rep_jobs', 1)}" if rep else ""
+            grid = p.get("grid_backend")
+            width = p.get("grid_width")
+            grid_note = f" grid={grid}:{p.get('grid_jobs', 1)}" if grid else ""
+            if grid and width is not None:
+                grid_note += f" width={width}"
             print(
-                f"[provenance] backend={p['backend']}{rep_note} cache={p['cache']} "
+                f"[provenance] backend={p['backend']}{grid_note} cache={p['cache']} "
                 f"wall={p['wall_time_s']:.3f}s seed={p['seed']}"
             )
         print()
     if args.json:
         written = suite.save_results(args.json)
         print(f"archived {len(written)} files to {args.json}/")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    suite = BenchmarkSuite(seed=args.seed, quick=args.quick, grid_jobs=args.grid_jobs)
+    _print_grids(suite, [args.figure])
     return 0
 
 
@@ -182,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_platforms()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
         if args.command == "findings":
             return _cmd_findings(args)
         if args.command == "hap":

@@ -4,7 +4,8 @@
 * :mod:`repro.core.results`    — figure/table result containers + JSON
 * :mod:`repro.core.experiment` — the experiment registry (per-figure metadata)
 * :mod:`repro.core.runner`     — repetition engine with seed management
-* :mod:`repro.core.figures`    — one reproduction function per paper figure
+* :mod:`repro.core.plan`       — declarative figure plans + grid lowering
+* :mod:`repro.core.figures`    — one reproduction plan per paper figure
 * :mod:`repro.core.report`     — ASCII rendering of tables and figures
 * :mod:`repro.core.findings`   — automated checks of the paper's findings
 * :mod:`repro.core.scheduler`  — parallel experiment scheduler + backends
@@ -19,10 +20,18 @@ from repro.core.runner import (
     PoolMapper,
     RepJob,
     Runner,
+    active_grid_mapper,
     active_rep_mapper,
     execution_context,
+    grid_mapper,
     rep_mapper,
     run_rep_job,
+)
+from repro.core.plan import (
+    FigurePlan,
+    GridOutcome,
+    LoweredGrid,
+    MeasurementSpec,
 )
 from repro.core.scheduler import (
     ExecutionPolicy,
@@ -61,10 +70,16 @@ __all__ = [
     "Runner",
     "RepJob",
     "run_rep_job",
+    "grid_mapper",
     "rep_mapper",
     "PoolMapper",
     "execution_context",
+    "active_grid_mapper",
     "active_rep_mapper",
+    "FigurePlan",
+    "MeasurementSpec",
+    "LoweredGrid",
+    "GridOutcome",
     "ExecutionPolicy",
     "ExperimentScheduler",
     "JobRecord",

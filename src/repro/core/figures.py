@@ -1,25 +1,31 @@
-"""Figure reproductions — one function per paper artefact.
+"""Figure reproductions — one declarative plan per paper artefact.
 
-Every function takes a ``seed`` plus optional repetition/platform
-overrides, runs the relevant workload through the
-:class:`~repro.core.runner.Runner`, and returns a
-:class:`~repro.core.results.FigureResult` whose rows/series mirror what
-the paper plots. Platform exclusions follow Section 3 and are recorded in
-the result's notes rather than silently dropped.
+Every figure *declares* what to measure as a
+:class:`~repro.core.plan.FigurePlan` (workload, platform roster,
+repetitions, stream tag, fold rules); the plan layer lowers that into a
+flat ``(platform, rep)`` job grid and dispatches it through one shared
+order-preserving pool (see :mod:`repro.core.plan`). The public functions
+keep their historical signatures — ``(seed, **kwargs) ->
+:class:`~repro.core.results.FigureResult`` — and their exact seed-tree
+derivations, so results are bit-identical to the old imperative
+per-platform loops. Platform exclusions follow Section 3 and are
+recorded in the result's notes rather than silently dropped.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
+from repro.core.plan import FigurePlan, GridOutcome, LoweredGrid
 from repro.core.results import FigureResult, ResultRow, SeriesRow
-from repro.core.runner import Runner
 from repro.core.stats import summarize
-from repro.errors import UnsupportedOperationError
 from repro.kernel.functions import KernelFunctionCatalog
-from repro.platforms import PLATFORM_SETS, get_platform
+from repro.platforms import PLATFORM_SETS
+from repro.platforms.base import Platform
+from repro.rng import RngStream
 from repro.security.epss import EpssModel
 from repro.security.hap import measure_hap
+from repro.workloads.base import Workload
 from repro.workloads.ffmpeg import FfmpegEncodeWorkload
 from repro.workloads.fio import FioLatencyWorkload, FioThroughputWorkload
 from repro.workloads.iperf import IperfWorkload
@@ -34,71 +40,406 @@ from repro.workloads.tinymembench import (
     TinymembenchThroughputWorkload,
 )
 
-__all__ = ["FIGURES", "figure_ids", "run_figure"]
+__all__ = [
+    "FIGURES",
+    "PLAN_BUILDERS",
+    "figure_ids",
+    "build_plan",
+    "lower_figure",
+    "run_figure",
+]
 
 
 def _platforms(default_set: str, override: list[str] | None) -> list[str]:
     return list(override) if override is not None else list(PLATFORM_SETS[default_set])
 
 
-def _figure_runner(seed: int, scope: str) -> Runner:
-    """The shared Runner construction seam for every figure function.
+class HapMeasurementWorkload(Workload):
+    """Adapter putting the deterministic HAP probe on the job grid.
 
-    Purely a construction point today — :meth:`Runner.__init__` itself
-    reads the ambient rep mapper installed by the scheduler's
-    :func:`~repro.core.runner.execution_context` — but a single seam is
-    where future figure-scoped execution policy (per-figure mappers,
-    instrumentation) lands without touching fifteen call sites.
+    The catalog and EPSS model are rebuilt inside :meth:`run` so the
+    workload stays a stateless, trivially picklable grid payload.
     """
-    return Runner(seed, scope)
+
+    name = "hap"
+
+    def run(self, platform: Platform, rng: RngStream) -> Any:
+        del rng  # the HAP measurement is fully deterministic
+        return measure_hap(platform, KernelFunctionCatalog(), EpssModel())
 
 
 # --- Figure 5: ffmpeg ------------------------------------------------------------
+
+
+def plan_fig05(repetitions: int = 10, platforms: list[str] | None = None) -> FigurePlan:
+    """ffmpeg H.264->H.265 re-encode time per platform (ms)."""
+    plan = FigurePlan(
+        figure_id="fig05",
+        title="ffmpeg video re-encoding CPU bound benchmark (1080p H.264 -> H.265)",
+        unit="ms",
+    )
+    spec = plan.measure(
+        FfmpegEncodeWorkload(threads=16, preset="slower"),
+        _platforms("cpu", platforms),
+        repetitions,
+    )
+    plan.fold_rows(spec, lambda r: r.encode_time_ms)
+    plan.note("OSv is the outlier: custom thread scheduler + SIMD handling.")
+    return plan
+
+
+def plan_cpu_prime(
+    repetitions: int = 10, platforms: list[str] | None = None
+) -> FigurePlan:
+    """Sysbench prime verification control (events/s, single thread)."""
+    plan = FigurePlan(
+        figure_id="cpu-prime",
+        title="Sysbench CPU prime verification (Finding 1 control)",
+        unit="events/s",
+    )
+    spec = plan.measure(SysbenchCpuWorkload(), _platforms("cpu", platforms), repetitions)
+    plan.fold_rows(spec, lambda r: r.events_per_second)
+    plan.note("All platforms perform nearly equivalently (Finding 1).")
+    return plan
+
+
+# --- Figure 6: memory latency ------------------------------------------------------
+
+
+def plan_fig06(
+    repetitions: int = 10,
+    platforms: list[str] | None = None,
+    *,
+    huge_pages: bool = False,
+) -> FigurePlan:
+    """Tinymembench random-access latency vs. buffer size (ns over L1)."""
+    plan = FigurePlan(
+        figure_id="fig06" if not huge_pages else "fig06-hugepages",
+        title="Memory latency (tinymembench), buffers 2^16..2^26",
+        unit="ns",
+        scope="fig06" + ("-huge" if huge_pages else ""),
+        x_label="buffer bytes",
+    )
+    spec = plan.measure(
+        TinymembenchLatencyWorkload(huge_pages=huge_pages),
+        _platforms("memory", platforms),
+        repetitions,
+        guard_support=True,
+    )
+    plan.fold_series(
+        spec, lambda run: [(p.buffer_bytes, p.extra_latency_ns) for p in run]
+    )
+    return plan
+
+
+# --- Figure 7: memory throughput ----------------------------------------------------
+
+
+def plan_fig07(repetitions: int = 10, platforms: list[str] | None = None) -> FigurePlan:
+    """Tinymembench sequential copy throughput, regular + SSE2 (MiB/s)."""
+    plan = FigurePlan(
+        figure_id="fig07",
+        title="Memory copy throughput (tinymembench), regular and SSE2",
+        unit="MiB/s",
+    )
+    spec = plan.measure(
+        TinymembenchThroughputWorkload(), _platforms("memory", platforms), repetitions
+    )
+
+    def sse2_columns(runs, summary):
+        sse2 = summarize([r.sse2_mib_per_s for r in runs])
+        return {"sse2_mean": sse2.mean, "sse2_std": sse2.std}
+
+    plan.fold_rows(spec, lambda r: r.copy_mib_per_s, extra=sse2_columns)
+    return plan
+
+
+# --- Figure 8: STREAM ----------------------------------------------------------------
+
+
+def plan_fig08(repetitions: int = 10, platforms: list[str] | None = None) -> FigurePlan:
+    """STREAM COPY bandwidth (MiB/s), average of per-run maxima."""
+    plan = FigurePlan(
+        figure_id="fig08",
+        title="STREAM COPY throughput, 2.2 GiB allocation",
+        unit="MiB/s",
+    )
+    spec = plan.measure(StreamWorkload(), _platforms("memory", platforms), repetitions)
+    plan.fold_rows(spec, lambda r: r.copy_mib_per_s)
+    return plan
+
+
+# --- Figures 9/10: fio ------------------------------------------------------------------
+
+
+def plan_fig09(
+    repetitions: int = 10,
+    platforms: list[str] | None = None,
+    *,
+    drop_host_cache: bool = True,
+) -> FigurePlan:
+    """fio sequential 128 KiB read/write throughput (MB/s)."""
+    plan = FigurePlan(
+        figure_id="fig09" if drop_host_cache else "fig09-cached",
+        title="fio 128 KiB sequential throughput (libaio, direct=1)",
+        unit="MB/s",
+        scope="fig09" + ("" if drop_host_cache else "-cached"),
+    )
+    spec = plan.measure(
+        FioThroughputWorkload(drop_host_cache=drop_host_cache),
+        _platforms("io_throughput", platforms),
+        repetitions,
+        guard_support=True,
+    )
+
+    def write_columns(runs, summary):
+        write = summarize([r.write_mb_per_s for r in runs])
+        return {"write_mean": write.mean, "write_std": write.std}
+
+    plan.fold_rows(spec, lambda r: r.read_mb_per_s, extra=write_columns)
+    plan.note("Firecracker and OSv excluded (Section 3.3).")
+    return plan
+
+
+def plan_fig10(repetitions: int = 10, platforms: list[str] | None = None) -> FigurePlan:
+    """fio 4 KiB randread latency (us)."""
+    plan = FigurePlan(
+        figure_id="fig10",
+        title="fio randread latency, 4 KiB blocks (libaio)",
+        unit="us",
+    )
+    spec = plan.measure(
+        FioLatencyWorkload(),
+        _platforms("io_latency", platforms),
+        repetitions,
+        guard_support=True,
+    )
+    plan.fold_rows(spec, lambda r: r.mean_latency_us)
+    plan.note("gVisor excluded: reads stay cached (Section 3.3).")
+    return plan
+
+
+# --- Figures 11/12: network --------------------------------------------------------------
+
+
+def plan_fig11(repetitions: int = 5, platforms: list[str] | None = None) -> FigurePlan:
+    """iperf3 throughput (Gbit/s), maximum over repetitions."""
+    plan = FigurePlan(
+        figure_id="fig11",
+        title="iperf3 network throughput (max over 5 runs)",
+        unit="Gbit/s",
+    )
+    spec = plan.measure(IperfWorkload(), _platforms("network", platforms), repetitions)
+    plan.fold_rows(
+        spec,
+        lambda r: r.throughput_gbit_per_s,
+        extra=lambda runs, summary: {"max": summary.maximum},
+    )
+    return plan
+
+
+def plan_fig12(repetitions: int = 5, platforms: list[str] | None = None) -> FigurePlan:
+    """Netperf request/response P90 latency (us)."""
+    plan = FigurePlan(
+        figure_id="fig12",
+        title="Netperf network latency, 90th percentile",
+        unit="us",
+    )
+    spec = plan.measure(NetperfWorkload(), _platforms("network", platforms), repetitions)
+    plan.fold_rows(spec, lambda r: r.p90_latency_us)
+    return plan
+
+
+# --- Figures 13/14/15: startup -------------------------------------------------------------
+
+
+def _startup_plan(
+    figure_id: str,
+    title: str,
+    platform_set: str,
+    startups: int,
+    platforms: list[str] | None,
+    methods: tuple[MeasurementMethod, ...] = (MeasurementMethod.END_TO_END,),
+) -> FigurePlan:
+    plan = FigurePlan(figure_id=figure_id, title=title, unit="ms", x_label="ms")
+    roster = _platforms(platform_set, platforms)
+    specs = [
+        (
+            method,
+            plan.measure(
+                StartupWorkload(startups=startups, method=method),
+                roster,
+                tag=method.value,
+                split_reps=False,
+                key=method.value,
+            ),
+        )
+        for method in methods
+    ]
+    multi = len(specs) > 1
+
+    def fold(result: FigureResult, outcome: GridOutcome) -> None:
+        # Platform-major, method-minor — the historical row/series order.
+        for name, platform, _ in outcome.view(specs[0][1]).items():
+            for method, spec in specs:
+                run = outcome.runs(spec, name)[0]
+                xs, ys = run.cdf()
+                label = f"{platform.label} [{method.value}]" if multi else platform.label
+                row_name = f"{name}:{method.value}" if multi else name
+                result.series.append(
+                    SeriesRow(
+                        platform=row_name,
+                        label=label,
+                        x_values=tuple(xs),
+                        y_values=tuple(ys),
+                        unit="ms",
+                    )
+                )
+                samples_ms = [s * 1e3 for s in run.samples_s]
+                result.rows.append(
+                    ResultRow(
+                        platform=row_name,
+                        label=label,
+                        summary=summarize(samples_ms),
+                        unit="ms",
+                    )
+                )
+
+    plan.fold_with(fold)
+    return plan
+
+
+def plan_fig13(startups: int = 300, platforms: list[str] | None = None) -> FigurePlan:
+    """Container runtime startup CDF, Docker-daemon vs. direct OCI."""
+    plan = _startup_plan(
+        "fig13",
+        "Container boot time CDF (300 startups; OCI = direct runtime invocation)",
+        "container_boot",
+        startups,
+        platforms,
+    )
+    plan.note("The Docker daemon adds ~250 ms over direct OCI invocation.")
+    return plan
+
+
+def plan_fig14(startups: int = 300, platforms: list[str] | None = None) -> FigurePlan:
+    """Hypervisor boot CDF with the same kernel/rootfs and patched init."""
+    plan = _startup_plan(
+        "fig14",
+        "Hypervisor boot time CDF (300 startups, patched init)",
+        "hypervisor_boot",
+        startups,
+        platforms,
+    )
+    plan.note("Firecracker is slowest end-to-end despite its reputation (Conclusion 5).")
+    return plan
+
+
+def plan_fig15(startups: int = 300, platforms: list[str] | None = None) -> FigurePlan:
+    """OSv boot CDF under its hypervisors, both measurement methods."""
+    plan = _startup_plan(
+        "fig15",
+        "OSv boot time CDF under supported hypervisors (300 startups)",
+        "osv_boot",
+        startups,
+        platforms,
+        methods=(MeasurementMethod.END_TO_END, MeasurementMethod.STDOUT_GREP),
+    )
+    plan.note(
+        "End-to-end and stdout-grep curves nearly superimpose (Finding 16); "
+        "the hypervisor ordering reverses versus Figure 14."
+    )
+    return plan
+
+
+# --- Figures 16/17: applications ---------------------------------------------------------------
+
+
+def plan_fig16(repetitions: int = 5, platforms: list[str] | None = None) -> FigurePlan:
+    """Memcached under YCSB workload-a (ops/s)."""
+    plan = FigurePlan(
+        figure_id="fig16",
+        title="Memcached YCSB workload-a throughput",
+        unit="ops/s",
+    )
+    spec = plan.measure(
+        MemcachedYcsbWorkload(), _platforms("applications", platforms), repetitions
+    )
+    plan.fold_rows(spec, lambda r: r.throughput_ops_per_s)
+    return plan
+
+
+def plan_fig17(repetitions: int = 3, platforms: list[str] | None = None) -> FigurePlan:
+    """MySQL sysbench oltp_read_write TPS over 10..160 threads."""
+    plan = FigurePlan(
+        figure_id="fig17",
+        title="MySQL sysbench oltp_read_write with increasing threads",
+        unit="tps",
+        x_label="threads",
+    )
+    spec = plan.measure(
+        MysqlOltpWorkload(), _platforms("applications", platforms), repetitions
+    )
+    plan.fold_series(spec, lambda run: list(zip(run.thread_counts, run.tps)))
+    plan.note("Wide error bands; no stable ranking in the top group (Finding 23).")
+    return plan
+
+
+# --- Figure 18: HAP -----------------------------------------------------------------------------
+
+
+def plan_fig18(platforms: list[str] | None = None) -> FigurePlan:
+    """Extended HAP: distinct host-kernel functions, EPSS-weighted score."""
+    plan = FigurePlan(
+        figure_id="fig18",
+        title="Extended HAP metric (host kernel functions, EPSS-weighted)",
+        unit="functions",
+    )
+    spec = plan.measure(
+        HapMeasurementWorkload(),
+        _platforms("security", platforms),
+        split_reps=False,
+    )
+
+    def fold(result: FigureResult, outcome: GridOutcome) -> None:
+        for name, platform, runs in outcome.view(spec).items():
+            score = runs[0]
+            result.rows.append(
+                ResultRow(
+                    name,
+                    platform.label,
+                    summarize([float(score.unique_functions)]),
+                    "functions",
+                    extra={
+                        "weighted_score": score.weighted_score,
+                        "total_invocations": float(score.total_invocations),
+                    },
+                )
+            )
+
+    plan.fold_with(fold)
+    plan.note(
+        "Firecracker exposes the widest host interface; OSv the narrowest "
+        "(Findings 24-27)."
+    )
+    return plan
+
+
+# --- public figure functions (historical signatures) --------------------------------------------
 
 
 def fig05_ffmpeg(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """ffmpeg H.264->H.265 re-encode time per platform (ms)."""
-    runner = _figure_runner(seed, "fig05")
-    workload = FfmpegEncodeWorkload(threads=16, preset="slower")
-    result = FigureResult(
-        figure_id="fig05",
-        title="ffmpeg video re-encoding CPU bound benchmark (1080p H.264 -> H.265)",
-        unit="ms",
-    )
-    for name in _platforms("cpu", platforms):
-        platform = get_platform(name)
-        summary = runner.repeat(
-            workload, platform, repetitions, lambda r: r.encode_time_ms
-        )
-        result.rows.append(ResultRow(name, platform.label, summary, "ms"))
-    result.notes.append("OSv is the outlier: custom thread scheduler + SIMD handling.")
-    return result
+    return plan_fig05(repetitions, platforms).run(seed)
 
 
 def cpu_prime_control(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """Sysbench prime verification control (events/s, single thread)."""
-    runner = _figure_runner(seed, "cpu-prime")
-    workload = SysbenchCpuWorkload()
-    result = FigureResult(
-        figure_id="cpu-prime",
-        title="Sysbench CPU prime verification (Finding 1 control)",
-        unit="events/s",
-    )
-    for name in _platforms("cpu", platforms):
-        platform = get_platform(name)
-        summary = runner.repeat(
-            workload, platform, repetitions, lambda r: r.events_per_second
-        )
-        result.rows.append(ResultRow(name, platform.label, summary, "events/s"))
-    result.notes.append("All platforms perform nearly equivalently (Finding 1).")
-    return result
-
-
-# --- Figure 6: memory latency ------------------------------------------------------
+    return plan_cpu_prime(repetitions, platforms).run(seed)
 
 
 def fig06_memory_latency(
@@ -109,85 +450,21 @@ def fig06_memory_latency(
     huge_pages: bool = False,
 ) -> FigureResult:
     """Tinymembench random-access latency vs. buffer size (ns over L1)."""
-    runner = _figure_runner(seed, "fig06" + ("-huge" if huge_pages else ""))
-    workload = TinymembenchLatencyWorkload(huge_pages=huge_pages)
-    result = FigureResult(
-        figure_id="fig06" if not huge_pages else "fig06-hugepages",
-        title="Memory latency (tinymembench), buffers 2^16..2^26",
-        unit="ns",
-        x_label="buffer bytes",
-    )
-    for name in _platforms("memory", platforms):
-        platform = get_platform(name)
-        try:
-            workload.check_supported(platform)
-        except UnsupportedOperationError as exc:
-            result.notes.append(f"{name}: excluded ({exc})")
-            continue
-        runs = runner.collect_results(workload, platform, repetitions)
-        x_values = tuple(float(p.buffer_bytes) for p in runs[0])
-        per_buffer = list(zip(*[[p.extra_latency_ns for p in run] for run in runs]))
-        means = tuple(summarize(list(vals)).mean for vals in per_buffer)
-        errs = tuple(summarize(list(vals)).std for vals in per_buffer)
-        result.series.append(
-            SeriesRow(name, platform.label, x_values, means, errs, unit="ns")
-        )
-    return result
-
-
-# --- Figure 7: memory throughput ----------------------------------------------------
+    return plan_fig06(repetitions, platforms, huge_pages=huge_pages).run(seed)
 
 
 def fig07_memory_throughput(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """Tinymembench sequential copy throughput, regular + SSE2 (MiB/s)."""
-    runner = _figure_runner(seed, "fig07")
-    workload = TinymembenchThroughputWorkload()
-    result = FigureResult(
-        figure_id="fig07",
-        title="Memory copy throughput (tinymembench), regular and SSE2",
-        unit="MiB/s",
-    )
-    for name in _platforms("memory", platforms):
-        platform = get_platform(name)
-        runs = runner.collect_results(workload, platform, repetitions)
-        copy = summarize([r.copy_mib_per_s for r in runs])
-        sse2 = summarize([r.sse2_mib_per_s for r in runs])
-        result.rows.append(
-            ResultRow(
-                name,
-                platform.label,
-                copy,
-                "MiB/s",
-                extra={"sse2_mean": sse2.mean, "sse2_std": sse2.std},
-            )
-        )
-    return result
-
-
-# --- Figure 8: STREAM ----------------------------------------------------------------
+    return plan_fig07(repetitions, platforms).run(seed)
 
 
 def fig08_stream(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """STREAM COPY bandwidth (MiB/s), average of per-run maxima."""
-    runner = _figure_runner(seed, "fig08")
-    workload = StreamWorkload()
-    result = FigureResult(
-        figure_id="fig08",
-        title="STREAM COPY throughput, 2.2 GiB allocation",
-        unit="MiB/s",
-    )
-    for name in _platforms("memory", platforms):
-        platform = get_platform(name)
-        summary = runner.repeat(workload, platform, repetitions, lambda r: r.copy_mib_per_s)
-        result.rows.append(ResultRow(name, platform.label, summary, "MiB/s"))
-    return result
-
-
-# --- Figures 9/10: fio ------------------------------------------------------------------
+    return plan_fig08(repetitions, platforms).run(seed)
 
 
 def fig09_fio_throughput(
@@ -198,291 +475,68 @@ def fig09_fio_throughput(
     drop_host_cache: bool = True,
 ) -> FigureResult:
     """fio sequential 128 KiB read/write throughput (MB/s)."""
-    runner = _figure_runner(seed, "fig09" + ("" if drop_host_cache else "-cached"))
-    workload = FioThroughputWorkload(drop_host_cache=drop_host_cache)
-    result = FigureResult(
-        figure_id="fig09" if drop_host_cache else "fig09-cached",
-        title="fio 128 KiB sequential throughput (libaio, direct=1)",
-        unit="MB/s",
-    )
-    for name in _platforms("io_throughput", platforms):
-        platform = get_platform(name)
-        try:
-            workload.check_supported(platform)
-        except UnsupportedOperationError as exc:
-            result.notes.append(f"{name}: excluded ({exc})")
-            continue
-        runs = runner.collect_results(workload, platform, repetitions)
-        read = summarize([r.read_mb_per_s for r in runs])
-        write = summarize([r.write_mb_per_s for r in runs])
-        result.rows.append(
-            ResultRow(
-                name,
-                platform.label,
-                read,
-                "MB/s",
-                extra={"write_mean": write.mean, "write_std": write.std},
-            )
-        )
-    result.notes.append("Firecracker and OSv excluded (Section 3.3).")
-    return result
+    return plan_fig09(repetitions, platforms, drop_host_cache=drop_host_cache).run(seed)
 
 
 def fig10_fio_latency(
     seed: int, repetitions: int = 10, platforms: list[str] | None = None
 ) -> FigureResult:
     """fio 4 KiB randread latency (us)."""
-    runner = _figure_runner(seed, "fig10")
-    workload = FioLatencyWorkload()
-    result = FigureResult(
-        figure_id="fig10",
-        title="fio randread latency, 4 KiB blocks (libaio)",
-        unit="us",
-    )
-    for name in _platforms("io_latency", platforms):
-        platform = get_platform(name)
-        try:
-            workload.check_supported(platform)
-        except UnsupportedOperationError as exc:
-            result.notes.append(f"{name}: excluded ({exc})")
-            continue
-        summary = runner.repeat(workload, platform, repetitions, lambda r: r.mean_latency_us)
-        result.rows.append(ResultRow(name, platform.label, summary, "us"))
-    result.notes.append("gVisor excluded: reads stay cached (Section 3.3).")
-    return result
-
-
-# --- Figures 11/12: network --------------------------------------------------------------
+    return plan_fig10(repetitions, platforms).run(seed)
 
 
 def fig11_iperf(
     seed: int, repetitions: int = 5, platforms: list[str] | None = None
 ) -> FigureResult:
     """iperf3 throughput (Gbit/s), maximum over repetitions."""
-    runner = _figure_runner(seed, "fig11")
-    workload = IperfWorkload()
-    result = FigureResult(
-        figure_id="fig11",
-        title="iperf3 network throughput (max over 5 runs)",
-        unit="Gbit/s",
-    )
-    for name in _platforms("network", platforms):
-        platform = get_platform(name)
-        values = runner.collect(
-            workload, platform, repetitions, lambda r: r.throughput_gbit_per_s
-        )
-        summary = summarize(values)
-        result.rows.append(
-            ResultRow(
-                name,
-                platform.label,
-                summary,
-                "Gbit/s",
-                extra={"max": summary.maximum},
-            )
-        )
-    return result
+    return plan_fig11(repetitions, platforms).run(seed)
 
 
 def fig12_netperf(
     seed: int, repetitions: int = 5, platforms: list[str] | None = None
 ) -> FigureResult:
     """Netperf request/response P90 latency (us)."""
-    runner = _figure_runner(seed, "fig12")
-    workload = NetperfWorkload()
-    result = FigureResult(
-        figure_id="fig12",
-        title="Netperf network latency, 90th percentile",
-        unit="us",
-    )
-    for name in _platforms("network", platforms):
-        platform = get_platform(name)
-        summary = runner.repeat(workload, platform, repetitions, lambda r: r.p90_latency_us)
-        result.rows.append(ResultRow(name, platform.label, summary, "us"))
-    return result
-
-
-# --- Figures 13/14/15: startup -------------------------------------------------------------
-
-
-def _startup_figure(
-    figure_id: str,
-    title: str,
-    platform_set: str,
-    seed: int,
-    startups: int,
-    platforms: list[str] | None,
-    methods: tuple[MeasurementMethod, ...] = (MeasurementMethod.END_TO_END,),
-) -> FigureResult:
-    runner = _figure_runner(seed, figure_id)
-    result = FigureResult(figure_id=figure_id, title=title, unit="ms", x_label="ms")
-    for name in _platforms(platform_set, platforms):
-        platform = get_platform(name)
-        for method in methods:
-            workload = StartupWorkload(startups=startups, method=method)
-            run = workload.run(platform, runner.stream_for(platform, method.value))
-            xs, ys = run.cdf()
-            label = platform.label
-            if len(methods) > 1:
-                label = f"{platform.label} [{method.value}]"
-            result.series.append(
-                SeriesRow(
-                    platform=name if len(methods) == 1 else f"{name}:{method.value}",
-                    label=label,
-                    x_values=tuple(xs),
-                    y_values=tuple(ys),
-                    unit="ms",
-                )
-            )
-            samples_ms = [s * 1e3 for s in run.samples_s]
-            result.rows.append(
-                ResultRow(
-                    platform=name if len(methods) == 1 else f"{name}:{method.value}",
-                    label=label,
-                    summary=summarize(samples_ms),
-                    unit="ms",
-                )
-            )
-    return result
+    return plan_fig12(repetitions, platforms).run(seed)
 
 
 def fig13_container_boot(
     seed: int, startups: int = 300, platforms: list[str] | None = None
 ) -> FigureResult:
     """Container runtime startup CDF, Docker-daemon vs. direct OCI."""
-    result = _startup_figure(
-        "fig13",
-        "Container boot time CDF (300 startups; OCI = direct runtime invocation)",
-        "container_boot",
-        seed,
-        startups,
-        platforms,
-    )
-    result.notes.append("The Docker daemon adds ~250 ms over direct OCI invocation.")
-    return result
+    return plan_fig13(startups, platforms).run(seed)
 
 
 def fig14_hypervisor_boot(
     seed: int, startups: int = 300, platforms: list[str] | None = None
 ) -> FigureResult:
     """Hypervisor boot CDF with the same kernel/rootfs and patched init."""
-    result = _startup_figure(
-        "fig14",
-        "Hypervisor boot time CDF (300 startups, patched init)",
-        "hypervisor_boot",
-        seed,
-        startups,
-        platforms,
-    )
-    result.notes.append(
-        "Firecracker is slowest end-to-end despite its reputation (Conclusion 5)."
-    )
-    return result
+    return plan_fig14(startups, platforms).run(seed)
 
 
 def fig15_osv_boot(
     seed: int, startups: int = 300, platforms: list[str] | None = None
 ) -> FigureResult:
     """OSv boot CDF under its hypervisors, both measurement methods."""
-    result = _startup_figure(
-        "fig15",
-        "OSv boot time CDF under supported hypervisors (300 startups)",
-        "osv_boot",
-        seed,
-        startups,
-        platforms,
-        methods=(MeasurementMethod.END_TO_END, MeasurementMethod.STDOUT_GREP),
-    )
-    result.notes.append(
-        "End-to-end and stdout-grep curves nearly superimpose (Finding 16); "
-        "the hypervisor ordering reverses versus Figure 14."
-    )
-    return result
-
-
-# --- Figures 16/17: applications ---------------------------------------------------------------
+    return plan_fig15(startups, platforms).run(seed)
 
 
 def fig16_memcached(
     seed: int, repetitions: int = 5, platforms: list[str] | None = None
 ) -> FigureResult:
     """Memcached under YCSB workload-a (ops/s)."""
-    runner = _figure_runner(seed, "fig16")
-    workload = MemcachedYcsbWorkload()
-    result = FigureResult(
-        figure_id="fig16",
-        title="Memcached YCSB workload-a throughput",
-        unit="ops/s",
-    )
-    for name in _platforms("applications", platforms):
-        platform = get_platform(name)
-        summary = runner.repeat(
-            workload, platform, repetitions, lambda r: r.throughput_ops_per_s
-        )
-        result.rows.append(ResultRow(name, platform.label, summary, "ops/s"))
-    return result
+    return plan_fig16(repetitions, platforms).run(seed)
 
 
 def fig17_mysql(
     seed: int, repetitions: int = 3, platforms: list[str] | None = None
 ) -> FigureResult:
     """MySQL sysbench oltp_read_write TPS over 10..160 threads."""
-    runner = _figure_runner(seed, "fig17")
-    workload = MysqlOltpWorkload()
-    result = FigureResult(
-        figure_id="fig17",
-        title="MySQL sysbench oltp_read_write with increasing threads",
-        unit="tps",
-        x_label="threads",
-    )
-    for name in _platforms("applications", platforms):
-        platform = get_platform(name)
-        runs = runner.collect_results(workload, platform, repetitions)
-        x_values = tuple(float(t) for t in runs[0].thread_counts)
-        per_thread = list(zip(*[run.tps for run in runs]))
-        means = tuple(summarize(list(vals)).mean for vals in per_thread)
-        errs = tuple(summarize(list(vals)).std for vals in per_thread)
-        result.series.append(
-            SeriesRow(name, platform.label, x_values, means, errs, unit="tps")
-        )
-    result.notes.append("Wide error bands; no stable ranking in the top group (Finding 23).")
-    return result
-
-
-# --- Figure 18: HAP -----------------------------------------------------------------------------
+    return plan_fig17(repetitions, platforms).run(seed)
 
 
 def fig18_hap(seed: int, platforms: list[str] | None = None) -> FigureResult:
     """Extended HAP: distinct host-kernel functions, EPSS-weighted score."""
-    del seed  # the HAP measurement is fully deterministic
-    catalog = KernelFunctionCatalog()
-    epss = EpssModel()
-    result = FigureResult(
-        figure_id="fig18",
-        title="Extended HAP metric (host kernel functions, EPSS-weighted)",
-        unit="functions",
-    )
-    for name in _platforms("security", platforms):
-        platform = get_platform(name)
-        score = measure_hap(platform, catalog, epss)
-        summary = summarize([float(score.unique_functions)])
-        result.rows.append(
-            ResultRow(
-                name,
-                platform.label,
-                summary,
-                "functions",
-                extra={
-                    "weighted_score": score.weighted_score,
-                    "total_invocations": float(score.total_invocations),
-                },
-            )
-        )
-    result.notes.append(
-        "Firecracker exposes the widest host interface; OSv the narrowest "
-        "(Findings 24-27)."
-    )
-    return result
+    return plan_fig18(platforms).run(seed)
 
 
 # --- registry -----------------------------------------------------------------------------------
@@ -505,14 +559,50 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig18": fig18_hap,
 }
 
+#: The declarative side of the registry: id -> plan builder (same kwargs
+#: as the figure function, minus ``seed`` — seeds enter at lowering).
+PLAN_BUILDERS: dict[str, Callable[..., FigurePlan]] = {
+    "fig05": plan_fig05,
+    "cpu-prime": plan_cpu_prime,
+    "fig06": plan_fig06,
+    "fig07": plan_fig07,
+    "fig08": plan_fig08,
+    "fig09": plan_fig09,
+    "fig10": plan_fig10,
+    "fig11": plan_fig11,
+    "fig12": plan_fig12,
+    "fig13": plan_fig13,
+    "fig14": plan_fig14,
+    "fig15": plan_fig15,
+    "fig16": plan_fig16,
+    "fig17": plan_fig17,
+    "fig18": plan_fig18,
+}
+
 
 def figure_ids() -> list[str]:
     """All reproducible figure identifiers."""
     return list(FIGURES)
 
 
+def build_plan(figure_id: str, **kwargs) -> FigurePlan:
+    """Build one figure's declarative plan (nothing lowered or executed)."""
+    try:
+        builder = PLAN_BUILDERS[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; known: {', '.join(PLAN_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+def lower_figure(figure_id: str, seed: int, **kwargs) -> LoweredGrid:
+    """Lower one figure's plan against ``seed`` without executing it."""
+    return build_plan(figure_id, **kwargs).lower(seed)
+
+
 def run_figure(figure_id: str, seed: int, **kwargs) -> FigureResult:
-    """Run one figure reproduction by id."""
+    """Run one figure reproduction by id (plan -> lower -> grid -> fold)."""
     try:
         function = FIGURES[figure_id]
     except KeyError:

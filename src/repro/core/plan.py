@@ -1,0 +1,409 @@
+"""Declarative figure plans and the (platform × rep) lowering pass.
+
+A figure *declares* what to measure — workloads, platform rosters,
+repetition counts, stream tags — as a :class:`FigurePlan` made of
+:class:`MeasurementSpec`s. A lowering pass expands the plan into a flat
+grid of picklable :class:`~repro.core.runner.RepJob`s, one per
+``(platform, repetition)`` cell, with every cell's RNG stream pre-derived
+from the seed tree (``figure/platform[/tag]/rep-i`` — exactly the
+derivation :meth:`Runner.rep_streams` uses, so lowered results are
+bit-identical to the historical per-platform loops). The whole grid is
+dispatched through a *single* order-preserving mapper call, then folded
+back into :class:`~repro.core.results.FigureResult` rows and series
+deterministically.
+
+This is the middleware separation applied one level further down: the
+scheduler already decided *which figures* run where; the plan layer
+decides *which cells* run where. Because cells are mutually independent,
+one shared pool covers the whole grid — wide-roster figures keep every
+worker busy instead of draining the pool between per-platform repetition
+batches. It is also the seam future async/remote backends plug into: a
+new backend only needs to be an order-preserving mapper.
+
+Platform exclusions are resolved during lowering (via
+``Workload.check_supported``) and recorded on the grid, so a plan can be
+inspected — ``repro-bench plan fig09`` — without executing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.results import FigureResult, ResultRow, SeriesRow
+from repro.core.runner import (
+    Mapper,
+    RepJob,
+    Runner,
+    _serial_map,
+    active_grid_mapper,
+    run_rep_job,
+)
+from repro.core.stats import Summary, summarize
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.platforms import get_platform
+from repro.platforms.base import Platform
+from repro.workloads.base import Workload
+
+__all__ = [
+    "MeasurementSpec",
+    "Exclusion",
+    "GridCell",
+    "LoweredGrid",
+    "GridOutcome",
+    "SpecView",
+    "FigurePlan",
+]
+
+#: A fold step: consumes the executed grid, appends rows/series/notes.
+Fold = Callable[[FigureResult, "GridOutcome"], None]
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """One declared measurement axis: a workload over a platform roster.
+
+    ``split_reps`` selects the stream derivation: ``True`` derives one
+    independent ``rep-i`` child stream per repetition (the repeated-metric
+    figures); ``False`` hands the single run the bare platform/tag stream
+    (the startup CDFs and the deterministic HAP table, which manage their
+    own inner sampling) and therefore requires ``repetitions == 1``.
+
+    ``guard_support`` turns an :class:`UnsupportedOperationError` from
+    ``workload.check_supported`` into a recorded :class:`Exclusion`
+    instead of a run-time failure — the paper's Section 3 exclusions.
+    """
+
+    key: str
+    workload: Workload
+    platforms: tuple[str, ...]
+    repetitions: int = 1
+    tag: str = ""
+    split_reps: bool = True
+    guard_support: bool = False
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1")
+        if not self.split_reps and self.repetitions != 1:
+            raise ConfigurationError(
+                "split_reps=False hands every repetition the same stream; "
+                "use repetitions=1 (the workload owns its inner sampling)"
+            )
+
+
+@dataclass(frozen=True)
+class Exclusion:
+    """One platform a spec declared but lowering excluded."""
+
+    spec_key: str
+    platform: str
+    reason: str
+
+    @property
+    def note(self) -> str:
+        """The human-readable figure note (matches the paper's phrasing)."""
+        return f"{self.platform}: excluded ({self.reason})"
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One ``(spec, platform, rep)`` coordinate and its ready-to-run job."""
+
+    spec_key: str
+    platform: str
+    rep_index: int
+    job: RepJob
+
+
+class LoweredGrid:
+    """A plan lowered against a seed: the flat, inspectable job grid.
+
+    Lowering is pure — building a grid derives streams and resolves
+    exclusions but executes nothing, so ``repro-bench plan`` / ``run
+    --dry-run`` can print it for free. :meth:`execute` dispatches every
+    cell through one order-preserving mapper call and regroups results by
+    ``(spec, platform)`` in repetition order.
+    """
+
+    def __init__(
+        self,
+        figure_id: str,
+        seed: int,
+        specs: Sequence[MeasurementSpec],
+        cells: list[GridCell],
+        exclusions: list[Exclusion],
+    ) -> None:
+        self.figure_id = figure_id
+        self.seed = seed
+        self.specs = list(specs)
+        self.cells = cells
+        self.exclusions = exclusions
+
+    @property
+    def width(self) -> int:
+        """Total number of jobs in the grid."""
+        return len(self.cells)
+
+    def included_platforms(self, spec: MeasurementSpec) -> list[str]:
+        """The spec's roster minus its exclusions, in declared order."""
+        excluded = {e.platform for e in self.exclusions if e.spec_key == spec.key}
+        return [name for name in spec.platforms if name not in excluded]
+
+    def execute(self, mapper: Mapper | None = None) -> "GridOutcome":
+        """Run every cell through one mapper dispatch and fold nothing.
+
+        Without an explicit ``mapper`` the ambient one installed by
+        :func:`~repro.core.runner.execution_context` is used (serial when
+        none is installed). ``Executor.map``-style mappers preserve input
+        order, and every cell's stream was pre-derived during lowering, so
+        results are bit-identical across serial/thread/process backends.
+        """
+        dispatch = mapper or active_grid_mapper() or _serial_map
+        raw = list(dispatch(run_rep_job, [cell.job for cell in self.cells])) \
+            if self.cells else []
+        results: dict[tuple[str, str], list[Any]] = {}
+        platforms: dict[tuple[str, str], Platform] = {}
+        for cell, value in zip(self.cells, raw):
+            results.setdefault((cell.spec_key, cell.platform), []).append(value)
+            platforms[(cell.spec_key, cell.platform)] = cell.job.platform
+        return GridOutcome(self, results, platforms)
+
+    def describe(self, *, backend: str = "serial", workers: int = 1) -> str:
+        """Human-readable grid summary for ``plan`` / ``--dry-run``."""
+        lines = [
+            f"{self.figure_id}: {self.width} grid job(s) "
+            f"[backend={backend}, grid-jobs={workers}]"
+        ]
+        for spec in self.specs:
+            included = self.included_platforms(spec)
+            suffix = f" tag={spec.tag}" if spec.tag else ""
+            lines.append(
+                f"  {spec.key} [{spec.workload.name}]: "
+                f"{len(included)} platform(s) x {spec.repetitions} rep(s) "
+                f"= {len(included) * spec.repetitions} job(s){suffix}"
+            )
+            lines.append(f"    platforms: {', '.join(included) or '(none)'}")
+        if self.exclusions:
+            for exclusion in self.exclusions:
+                lines.append(f"  excluded: {exclusion.note}")
+        else:
+            lines.append("  excluded: (none)")
+        return "\n".join(lines)
+
+
+class SpecView:
+    """One spec's slice of an executed grid, in declared platform order."""
+
+    def __init__(self, outcome: "GridOutcome", spec: MeasurementSpec) -> None:
+        self._outcome = outcome
+        self.spec = spec
+
+    def items(self) -> Iterator[tuple[str, Platform, list[Any]]]:
+        """Yield ``(platform_name, platform, per-rep results)`` per platform."""
+        for name in self._outcome.grid.included_platforms(self.spec):
+            yield name, self._outcome.platform(self.spec, name), \
+                self._outcome.runs(self.spec, name)
+
+
+class GridOutcome:
+    """The executed grid: per-``(spec, platform)`` result lists."""
+
+    def __init__(
+        self,
+        grid: LoweredGrid,
+        results: dict[tuple[str, str], list[Any]],
+        platforms: dict[tuple[str, str], Platform],
+    ) -> None:
+        self.grid = grid
+        self._results = results
+        self._platforms = platforms
+
+    def runs(self, spec: MeasurementSpec, platform: str) -> list[Any]:
+        """The platform's results for ``spec``, in repetition order."""
+        return self._results[(spec.key, platform)]
+
+    def platform(self, spec: MeasurementSpec, platform: str) -> Platform:
+        """The platform object a spec's cells ran against."""
+        return self._platforms[(spec.key, platform)]
+
+    def view(self, spec: MeasurementSpec) -> SpecView:
+        """Iterate one spec's slice in declared platform order."""
+        return SpecView(self, spec)
+
+
+@dataclass
+class FigurePlan:
+    """A figure's declaration: what to measure and how to fold it.
+
+    Figure functions build a plan (``measure`` + ``fold_rows`` /
+    ``fold_series`` / ``fold_with`` + ``note``) and call :meth:`run`;
+    everything about *where* the grid executes lives in the mapper the
+    scheduler installs ambiently. ``scope`` names the RNG subtree and
+    defaults to ``figure_id`` (Figure 6's huge-page variant keeps its
+    historical distinct scope).
+    """
+
+    figure_id: str
+    title: str
+    unit: str
+    scope: str = ""
+    x_label: str = ""
+    specs: list[MeasurementSpec] = field(default_factory=list)
+    _folds: list[Fold] = field(default_factory=list)
+    _notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.scope:
+            self.scope = self.figure_id
+
+    # --- declaration ---------------------------------------------------------------
+
+    def measure(
+        self,
+        workload: Workload,
+        platforms: Sequence[str],
+        repetitions: int = 1,
+        *,
+        tag: str = "",
+        split_reps: bool = True,
+        guard_support: bool = False,
+        key: str = "",
+    ) -> MeasurementSpec:
+        """Declare one measurement axis and return its spec handle."""
+        spec = MeasurementSpec(
+            key=key or f"m{len(self.specs)}",
+            workload=workload,
+            platforms=tuple(platforms),
+            repetitions=repetitions,
+            tag=tag,
+            split_reps=split_reps,
+            guard_support=guard_support,
+        )
+        if any(existing.key == spec.key for existing in self.specs):
+            raise ConfigurationError(f"duplicate measurement key {spec.key!r}")
+        self.specs.append(spec)
+        return spec
+
+    def note(self, text: str) -> None:
+        """Append a static figure note (after any exclusion notes)."""
+        self._notes.append(text)
+
+    # --- folds ---------------------------------------------------------------------
+
+    def fold_with(self, fold: Fold) -> None:
+        """Register a custom fold step (runs in registration order)."""
+        self._folds.append(fold)
+
+    def fold_rows(
+        self,
+        spec: MeasurementSpec,
+        metric: Callable[[Any], float],
+        unit: str = "",
+        extra: Callable[[list[Any], Summary], dict[str, float]] | None = None,
+    ) -> None:
+        """The common bar-figure fold: summarize ``metric`` per platform.
+
+        ``extra`` may compute a row's auxiliary metrics from the raw runs
+        and the already-computed summary (e.g. Figure 7's SSE2 columns).
+        """
+        row_unit = unit or self.unit
+
+        def fold(result: FigureResult, outcome: GridOutcome) -> None:
+            for name, platform, runs in outcome.view(spec).items():
+                summary = summarize([float(metric(run)) for run in runs])
+                result.rows.append(
+                    ResultRow(
+                        name,
+                        platform.label,
+                        summary,
+                        row_unit,
+                        extra=extra(runs, summary) if extra is not None else {},
+                    )
+                )
+
+        self.fold_with(fold)
+
+    def fold_series(
+        self,
+        spec: MeasurementSpec,
+        points: Callable[[Any], Sequence[tuple[float, float]]],
+        unit: str = "",
+    ) -> None:
+        """The common sweep fold: mean/std per x across repetitions.
+
+        ``points`` maps one run to its ``(x, y)`` samples; x positions
+        must agree across repetitions (they are grid parameters, not
+        measurements).
+        """
+        series_unit = unit or self.unit
+
+        def fold(result: FigureResult, outcome: GridOutcome) -> None:
+            for name, platform, runs in outcome.view(spec).items():
+                sampled = [list(points(run)) for run in runs]
+                x_values = tuple(float(x) for x, _ in sampled[0])
+                per_x = list(zip(*[[y for _, y in samples] for samples in sampled]))
+                means = tuple(summarize(list(values)).mean for values in per_x)
+                errs = tuple(summarize(list(values)).std for values in per_x)
+                result.series.append(
+                    SeriesRow(name, platform.label, x_values, means, errs,
+                              unit=series_unit)
+                )
+
+        self.fold_with(fold)
+
+    # --- lowering + execution ------------------------------------------------------
+
+    def lower(self, seed: int) -> LoweredGrid:
+        """Expand the plan into its flat ``(platform, rep)`` job grid.
+
+        Stream derivation matches the historical per-platform loops
+        exactly: split specs use :meth:`Runner.rep_streams`, whole-stream
+        specs use :meth:`Runner.stream_for` — so plan execution is
+        bit-identical to the pre-plan figures.
+        """
+        runner = Runner(seed, self.scope)
+        cells: list[GridCell] = []
+        exclusions: list[Exclusion] = []
+        for spec in self.specs:
+            for name in spec.platforms:
+                platform = get_platform(name)
+                if spec.guard_support:
+                    try:
+                        spec.workload.check_supported(platform)
+                    except UnsupportedOperationError as exc:
+                        exclusions.append(Exclusion(spec.key, name, str(exc)))
+                        continue
+                if spec.split_reps:
+                    streams = runner.rep_streams(platform, spec.repetitions, spec.tag)
+                else:
+                    streams = [runner.stream_for(platform, spec.tag)]
+                for index, stream in enumerate(streams):
+                    cells.append(
+                        GridCell(spec.key, name, index,
+                                 RepJob(spec.workload, platform, stream))
+                    )
+        return LoweredGrid(self.figure_id, seed, self.specs, cells, exclusions)
+
+    def assemble(self, outcome: GridOutcome) -> FigureResult:
+        """Fold an executed grid into the final :class:`FigureResult`.
+
+        Deterministic by construction: exclusion notes land first (in
+        lowering order), folds run in registration order, static notes
+        last — matching the historical imperative figures note-for-note.
+        """
+        result = FigureResult(
+            figure_id=self.figure_id,
+            title=self.title,
+            unit=self.unit,
+            x_label=self.x_label,
+        )
+        result.notes.extend(e.note for e in outcome.grid.exclusions)
+        for fold in self._folds:
+            fold(result, outcome)
+        result.notes.extend(self._notes)
+        return result
+
+    def run(self, seed: int, mapper: Mapper | None = None) -> FigureResult:
+        """Lower, execute through one shared pool, and fold: the whole path."""
+        return self.assemble(self.lower(seed).execute(mapper))

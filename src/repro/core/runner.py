@@ -18,8 +18,12 @@ work (closures cannot cross a pool boundary).
 
 The mapper is usually not passed explicitly: the scheduler layer installs
 one ambiently via :func:`execution_context` (a ``contextvars`` scope), and
-:meth:`Runner.__init__` picks it up. Figure functions therefore gain
-repetition-level parallelism without signature changes.
+both :meth:`Runner.__init__` and the plan layer's
+:meth:`~repro.core.plan.LoweredGrid.execute` pick it up. Since the plan
+refactor the same mapper covers a figure's *entire* ``(platform, rep)``
+grid in one dispatch — the "rep mapper" grew into the grid mapper, and
+the ``grid_*`` names below are the canonical spelling (the ``rep_*``
+aliases remain for compatibility).
 """
 
 from __future__ import annotations
@@ -40,18 +44,24 @@ __all__ = [
     "Runner",
     "RepJob",
     "run_rep_job",
+    "grid_mapper",
     "rep_mapper",
     "PoolMapper",
     "execution_context",
+    "active_grid_mapper",
     "active_rep_mapper",
+    "GRID_BACKENDS",
     "REP_BACKENDS",
 ]
 
 #: An order-preserving map strategy: ``mapper(fn, items) -> results``.
 Mapper = Callable[[Callable[[Any], Any], Iterable[Any]], Iterable[Any]]
 
-#: Valid repetition-level backends (``ExecutionPolicy.rep_backend``).
-REP_BACKENDS = ("serial", "thread", "process")
+#: Valid grid-level backends (``ExecutionPolicy.grid_backend``).
+GRID_BACKENDS = ("serial", "thread", "process")
+
+#: Back-compat alias from the repetition-parallelism era (PR 2).
+REP_BACKENDS = GRID_BACKENDS
 
 
 @dataclass(frozen=True)
@@ -84,11 +94,14 @@ def _serial_map(fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
 class PoolMapper:
     """Order-preserving pool mapper with a lazily-created, reusable executor.
 
-    A figure dispatches one repetition batch *per platform*, so the worker
-    pool is created on first use and reused across calls — forking a fresh
-    process pool for every 5-rep batch would cost more than it saves.
-    Close (or use as a context manager) to release the workers; the
-    scheduler's job wrapper owns that lifetime.
+    The plan layer dispatches a figure's whole ``(platform, rep)`` grid in
+    a single call, but legacy :meth:`Runner.collect_results` callers still
+    dispatch per-platform batches, so the pool is created on first use and
+    reused across calls — forking a fresh process pool per batch would
+    cost more than it saves. Close (or use as a context manager) to
+    release the workers; the scheduler's job wrapper owns that lifetime
+    via an :class:`contextlib.ExitStack`, so the pool is released even
+    when a figure raises mid-grid.
     """
 
     def __init__(self, backend: str, jobs: int) -> None:
@@ -120,51 +133,61 @@ class PoolMapper:
         self.close()
 
 
-def rep_mapper(backend: str, jobs: int) -> Mapper:
-    """An order-preserving mapper for the given rep backend and width.
+def grid_mapper(backend: str, jobs: int) -> Mapper:
+    """An order-preserving mapper for the given grid backend and width.
 
     ``serial`` maps in-process; ``thread``/``process`` return a
     :class:`PoolMapper` that fans items over a ``concurrent.futures`` pool
     (``Executor.map`` preserves input order). A width of one collapses
     every backend to the serial map.
     """
-    if backend not in REP_BACKENDS:
+    if backend not in GRID_BACKENDS:
         raise ConfigurationError(
-            f"unknown rep backend {backend!r}; known: {', '.join(REP_BACKENDS)}"
+            f"unknown grid backend {backend!r}; known: {', '.join(GRID_BACKENDS)}"
         )
     if jobs < 1:
-        raise ConfigurationError(f"rep jobs must be >= 1, got {jobs}")
+        raise ConfigurationError(f"grid jobs must be >= 1, got {jobs}")
     if backend == "serial" or jobs == 1:
         return _serial_map
     return PoolMapper(backend, jobs)
 
 
-#: The ambient rep mapper, installed by the scheduler layer around each
+#: Back-compat alias from the repetition-parallelism era (PR 2).
+rep_mapper = grid_mapper
+
+
+#: The ambient grid mapper, installed by the scheduler layer around each
 #: figure execution (including inside figure-pool workers).
-_ACTIVE_REP_MAPPER: contextvars.ContextVar[Mapper | None] = contextvars.ContextVar(
-    "repro_rep_mapper", default=None
+_ACTIVE_GRID_MAPPER: contextvars.ContextVar[Mapper | None] = contextvars.ContextVar(
+    "repro_grid_mapper", default=None
 )
 
 
-def active_rep_mapper() -> Mapper | None:
+def active_grid_mapper() -> Mapper | None:
     """The mapper installed by the innermost :func:`execution_context`."""
-    return _ACTIVE_REP_MAPPER.get()
+    return _ACTIVE_GRID_MAPPER.get()
+
+
+#: Back-compat alias from the repetition-parallelism era (PR 2).
+active_rep_mapper = active_grid_mapper
 
 
 @contextlib.contextmanager
 def execution_context(mapper: Mapper | None) -> Iterator[None]:
-    """Install ``mapper`` as the ambient rep mapper for this context.
+    """Install ``mapper`` as the ambient grid mapper for this context.
 
-    Every :class:`Runner` constructed inside the ``with`` block (without an
-    explicit ``mapper=``) dispatches its repetitions through it. This is
-    the policy/logic split at the repetition level: figure functions keep
-    their signatures, the caller decides where repetitions execute.
+    Every :class:`Runner` and every lowered
+    :class:`~repro.core.plan.LoweredGrid` evaluated inside the ``with``
+    block (without an explicit ``mapper=``) dispatches through it. This is
+    the policy/logic split at the grid level: figure plans declare what to
+    measure, the caller decides where the ``(platform, rep)`` cells
+    execute.
     """
-    token = _ACTIVE_REP_MAPPER.set(mapper)
+    token = _ACTIVE_GRID_MAPPER.set(mapper)
     try:
         yield
     finally:
-        _ACTIVE_REP_MAPPER.reset(token)
+        _ACTIVE_GRID_MAPPER.reset(token)
 
 
 class Runner:
@@ -172,7 +195,7 @@ class Runner:
 
     def __init__(self, seed: int, scope: str, *, mapper: Mapper | None = None) -> None:
         self.root = RngStream(seed, scope)
-        self._map: Mapper = mapper or active_rep_mapper() or _serial_map
+        self._map: Mapper = mapper or active_grid_mapper() or _serial_map
 
     @staticmethod
     def job_seed(seed: int, scope: str) -> int:

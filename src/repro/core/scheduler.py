@@ -7,10 +7,11 @@ how*. An :class:`ExperimentScheduler` turns a set of figure ids into
 the :class:`~repro.core.store.ResultStore`, and executes the misses on a
 backend chosen by :class:`ExecutionPolicy` — serially in-process, or
 across a ``concurrent.futures`` process pool. The policy also carries a
-*repetition-level* dimension (``rep_jobs``/``rep_backend``): each job
-installs an order-preserving rep mapper via
-:func:`~repro.core.runner.execution_context` before it runs, so the N
-repetitions inside one figure can fan over a thread or process pool —
+*grid-level* dimension (``grid_jobs``/``grid_backend``): each job
+installs an order-preserving grid mapper via
+:func:`~repro.core.runner.execution_context` before it runs, so the
+figure's whole lowered ``(platform, rep)`` grid (see
+:mod:`repro.core.plan`) fans over one shared thread or process pool —
 the speedup path for single-figure runs, where the figure pool is idle.
 
 Determinism is preserved by construction: every figure function builds its
@@ -33,15 +34,16 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from repro.core.experiment import EXPERIMENTS
-from repro.core.figures import FIGURES, run_figure
+from repro.core.figures import FIGURES, lower_figure, run_figure
+from repro.core.plan import LoweredGrid
 from repro.core.results import FigureResult
 from repro.core.runner import (
-    REP_BACKENDS,
+    GRID_BACKENDS,
     Mapper,
     PoolMapper,
     Runner,
     execution_context,
-    rep_mapper,
+    grid_mapper,
 )
 from repro.core.store import ResultStore, StoreKey
 from repro.errors import ConfigurationError
@@ -75,36 +77,39 @@ class ExecutionPolicy:
     """How jobs execute, at both scheduling levels.
 
     The *figure* level (``jobs``/``backend``) fans independent figures over
-    a process pool; the *repetition* level (``rep_jobs``/``rep_backend``)
-    fans the N repetitions inside one figure over a thread or process pool.
-    The two compose: a figure pool worker installs the rep mapper in its
-    own process, so ``jobs=4, rep_jobs=2`` runs four figures at once, each
-    with two-way repetition parallelism.
+    a process pool; the *grid* level (``grid_jobs``/``grid_backend``) is a
+    single worker budget for everything inside one figure — the whole
+    lowered ``(platform, rep)`` grid fans over one shared thread or
+    process pool instead of per-platform repetition batches (this unifies
+    the former ``rep_jobs``/``rep_backend`` pair). The two levels compose:
+    a figure pool worker installs the grid mapper in its own process, so
+    ``jobs=4, grid_jobs=2`` runs four figures at once, each with a
+    two-worker grid pool.
 
-    ``backend=None`` / ``rep_backend=None`` auto-select: serial for one
+    ``backend=None`` / ``grid_backend=None`` auto-select: serial for one
     slot, a pool otherwise (process in both cases — workloads are
     pure-Python simulation, so only processes buy true parallelism; the
-    ``thread`` rep backend is available for callers who want pool
+    ``thread`` grid backend is available for callers who want pool
     semantics without fork/pickle overhead). Serial stays the default
-    everywhere; callers opt in via ``--jobs N`` / ``--rep-jobs N``.
+    everywhere; callers opt in via ``--jobs N`` / ``--grid-jobs N``.
     """
 
     jobs: int = 1
     backend: str | None = None
-    rep_jobs: int = 1
-    rep_backend: str | None = None
+    grid_jobs: int = 1
+    grid_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
         if self.backend not in (None, BACKEND_SERIAL, BACKEND_PROCESS):
             raise ConfigurationError(f"unknown backend {self.backend!r}")
-        if self.rep_jobs < 1:
-            raise ConfigurationError(f"rep_jobs must be >= 1, got {self.rep_jobs}")
-        if self.rep_backend is not None and self.rep_backend not in REP_BACKENDS:
+        if self.grid_jobs < 1:
+            raise ConfigurationError(f"grid_jobs must be >= 1, got {self.grid_jobs}")
+        if self.grid_backend is not None and self.grid_backend not in GRID_BACKENDS:
             raise ConfigurationError(
-                f"unknown rep backend {self.rep_backend!r}; "
-                f"known: {', '.join(REP_BACKENDS)}"
+                f"unknown grid backend {self.grid_backend!r}; "
+                f"known: {', '.join(GRID_BACKENDS)}"
             )
 
     @property
@@ -115,37 +120,40 @@ class ExecutionPolicy:
         return BACKEND_PROCESS if self.jobs > 1 else BACKEND_SERIAL
 
     @property
-    def resolved_rep_backend(self) -> str:
-        """The concrete repetition-level backend this policy selects."""
-        if self.rep_backend is not None:
-            return self.rep_backend
-        return BACKEND_PROCESS if self.rep_jobs > 1 else BACKEND_SERIAL
+    def resolved_grid_backend(self) -> str:
+        """The concrete grid-level backend this policy selects."""
+        if self.grid_backend is not None:
+            return self.grid_backend
+        return BACKEND_PROCESS if self.grid_jobs > 1 else BACKEND_SERIAL
 
     def mapper(self) -> Mapper:
-        """The order-preserving rep mapper this policy prescribes."""
-        return rep_mapper(self.resolved_rep_backend, self.rep_jobs)
+        """The order-preserving grid mapper this policy prescribes."""
+        return grid_mapper(self.resolved_grid_backend, self.grid_jobs)
 
     @classmethod
     def serial(cls) -> "ExecutionPolicy":
-        return cls(jobs=1, backend=BACKEND_SERIAL, rep_jobs=1, rep_backend=BACKEND_SERIAL)
+        return cls(
+            jobs=1, backend=BACKEND_SERIAL, grid_jobs=1, grid_backend=BACKEND_SERIAL
+        )
 
 
 @dataclass(frozen=True)
 class ExperimentJob:
     """One schedulable figure execution (picklable).
 
-    ``rep_backend``/``rep_jobs`` describe *where* the job's repetitions
-    run; they travel with the job (contextvars do not cross a process
-    pool) but are execution policy, not identity — they never enter the
-    store key, because every rep backend is bit-identical by construction.
+    ``grid_backend``/``grid_jobs`` describe *where* the job's lowered
+    ``(platform, rep)`` grid runs; they travel with the job (contextvars
+    do not cross a process pool) but are execution policy, not identity —
+    they never enter the store key, because every grid backend is
+    bit-identical by construction.
     """
 
     figure_id: str
     seed: int
     kwargs: tuple[tuple[str, Any], ...]
     job_seed: int
-    rep_backend: str = BACKEND_SERIAL
-    rep_jobs: int = 1
+    grid_backend: str = BACKEND_SERIAL
+    grid_jobs: int = 1
 
     @classmethod
     def build(
@@ -154,8 +162,8 @@ class ExperimentJob:
         seed: int,
         kwargs: dict[str, Any],
         *,
-        rep_backend: str = BACKEND_SERIAL,
-        rep_jobs: int = 1,
+        grid_backend: str = BACKEND_SERIAL,
+        grid_jobs: int = 1,
     ) -> "ExperimentJob":
         """Create a job; its identity seed comes from the shared seed tree."""
         frozen = tuple(sorted(kwargs.items(), key=lambda item: item[0]))
@@ -164,8 +172,8 @@ class ExperimentJob:
             seed=int(seed),
             kwargs=_freeze_kwargs(frozen),
             job_seed=Runner.job_seed(seed, figure_id),
-            rep_backend=rep_backend,
-            rep_jobs=rep_jobs,
+            grid_backend=grid_backend,
+            grid_jobs=grid_jobs,
         )
 
     def kwargs_dict(self) -> dict[str, Any]:
@@ -180,9 +188,28 @@ def _freeze_kwargs(items: tuple[tuple[str, Any], ...]) -> tuple[tuple[str, Any],
     )
 
 
-#: One job's outcome: (result, error message, wall time) — exactly one of
-#: result/error is set.
-JobOutcome = tuple[FigureResult | None, str | None, float]
+class _CountingMapper:
+    """Mapper proxy recording how many grid cells were dispatched.
+
+    The figure's lowered grid width is execution provenance, but only the
+    figure function knows it — wrapping the mapper observes it without
+    widening any figure signatures. Plan-based figures dispatch their
+    whole grid in one call; legacy per-batch callers accumulate.
+    """
+
+    def __init__(self, inner: Mapper) -> None:
+        self.inner = inner
+        self.dispatched = 0
+
+    def __call__(self, fn: Any, items: Any) -> Any:
+        items = list(items)
+        self.dispatched += len(items)
+        return self.inner(fn, items)
+
+
+#: One job's outcome: (result, error message, wall time, grid width) —
+#: exactly one of result/error is set; grid width is None on failure.
+JobOutcome = tuple[FigureResult | None, str | None, float, int | None]
 
 
 def _execute_job(job: ExperimentJob) -> JobOutcome:
@@ -192,23 +219,26 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
     own duration (success or failure) rather than submission-order queue
     latency, and a raising figure never tears down the pool.
 
-    Installs the job's rep mapper via :func:`execution_context` here, in
-    the executing process, so the figure's :class:`Runner` picks it up
-    whether the job runs in-process or inside a figure-pool worker.
+    Installs the job's grid mapper via :func:`execution_context` here, in
+    the executing process, so the figure's lowered grid picks it up
+    whether the job runs in-process or inside a figure-pool worker. The
+    :class:`contextlib.ExitStack` owns the mapper's lifetime: a pool
+    mapper's workers are released even when the figure raises mid-grid.
     """
     started = time.perf_counter()
     try:
-        mapper = rep_mapper(job.rep_backend, job.rep_jobs)
+        mapper = grid_mapper(job.grid_backend, job.grid_jobs)
+        counting = _CountingMapper(mapper)
         with contextlib.ExitStack() as stack:
             if isinstance(mapper, PoolMapper):
-                # The rep pool is reused across the figure's platform
-                # batches; release its workers when the job finishes.
+                # One shared pool covers the figure's whole grid; release
+                # its workers when the job finishes — or raises.
                 stack.enter_context(mapper)
-            stack.enter_context(execution_context(mapper))
+            stack.enter_context(execution_context(counting))
             result = run_figure(job.figure_id, job.seed, **job.kwargs_dict())
-        return result, None, time.perf_counter() - started
+        return result, None, time.perf_counter() - started, counting.dispatched
     except Exception as exc:
-        return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started
+        return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started, None
 
 
 @dataclass
@@ -223,10 +253,13 @@ class JobRecord:
     job_seed: int
     batch: int
     error: str | None = None
-    #: Repetition-level backend the job ran with (None for cache hits —
-    #: nothing executed, so no rep dispatch happened).
-    rep_backend: str | None = None
-    rep_jobs: int = 1
+    #: Grid-level backend the job ran with (None for cache hits —
+    #: nothing executed, so no grid dispatch happened).
+    grid_backend: str | None = None
+    grid_jobs: int = 1
+    #: Number of (platform, rep) cells the figure dispatched (None for
+    #: cache hits and failures).
+    grid_width: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -238,8 +271,9 @@ class JobRecord:
             "job_seed": self.job_seed,
             "batch": self.batch,
             "error": self.error,
-            "rep_backend": self.rep_backend,
-            "rep_jobs": self.rep_jobs,
+            "grid_backend": self.grid_backend,
+            "grid_jobs": self.grid_jobs,
+            "grid_width": self.grid_width,
         }
 
 
@@ -349,6 +383,22 @@ class ExperimentScheduler:
         kwargs.update(overrides or {})
         return kwargs
 
+    def plan_for(
+        self, figure_id: str, overrides: dict[str, Any] | None = None
+    ) -> LoweredGrid:
+        """Lower one figure's plan exactly as a run of it would, sans execution.
+
+        The dry-run seam: the returned grid describes the (platform, rep)
+        cells, exclusions, and total width the scheduler would dispatch.
+        """
+        if figure_id not in FIGURES:
+            raise ConfigurationError(
+                f"unknown figure {figure_id!r}; known: {', '.join(FIGURES)}"
+            )
+        return lower_figure(
+            figure_id, self.seed, **self.effective_kwargs(figure_id, overrides)
+        )
+
     # --- execution -------------------------------------------------------------------
 
     def run(
@@ -411,8 +461,8 @@ class ExperimentScheduler:
                         figure_id,
                         self.seed,
                         kwargs,
-                        rep_backend=self.policy.resolved_rep_backend,
-                        rep_jobs=self.policy.rep_jobs,
+                        grid_backend=self.policy.resolved_grid_backend,
+                        grid_jobs=self.policy.grid_jobs,
                     ),
                     key,
                 )
@@ -426,7 +476,7 @@ class ExperimentScheduler:
             # A single pending job gains nothing from a pool; run in-process.
             backend = BACKEND_SERIAL
             outcomes = self._run_serial(pending)
-        for (job, key), (result, error, elapsed) in zip(pending, outcomes):
+        for (job, key), (result, error, elapsed, grid_width) in zip(pending, outcomes):
             record = JobRecord(
                 figure_id=job.figure_id,
                 digest=key.digest,
@@ -436,15 +486,17 @@ class ExperimentScheduler:
                 job_seed=job.job_seed,
                 batch=batch_index,
                 error=error,
-                rep_backend=job.rep_backend,
-                rep_jobs=job.rep_jobs,
+                grid_backend=job.grid_backend,
+                grid_jobs=job.grid_jobs,
+                grid_width=grid_width,
             )
             report.records.append(record)
             if result is None:
                 continue
             self._attach_provenance(
                 result, key, backend, False, elapsed, job.job_seed,
-                rep_backend=job.rep_backend, rep_jobs=job.rep_jobs,
+                grid_backend=job.grid_backend, grid_jobs=job.grid_jobs,
+                grid_width=grid_width,
             )
             if self.store is not None:
                 self.store.put(key, result)
@@ -473,7 +525,7 @@ class ExperimentScheduler:
                     # payload) reach here — figure errors are captured
                     # in-worker by _execute_job.
                     outcomes.append((None, f"{type(exc).__name__}: {exc}",
-                                     time.perf_counter() - started))
+                                     time.perf_counter() - started, None))
         return outcomes
 
     def _attach_provenance(
@@ -484,13 +536,15 @@ class ExperimentScheduler:
         cache_hit: bool,
         wall_time_s: float,
         job_seed: int,
-        rep_backend: str | None = None,
-        rep_jobs: int = 1,
+        grid_backend: str | None = None,
+        grid_jobs: int = 1,
+        grid_width: int | None = None,
     ) -> None:
         result.metadata["provenance"] = {
             "backend": backend,
-            "rep_backend": rep_backend,
-            "rep_jobs": rep_jobs,
+            "grid_backend": grid_backend,
+            "grid_jobs": grid_jobs,
+            "grid_width": grid_width,
             "cache": "hit" if cache_hit else "miss",
             "wall_time_s": round(wall_time_s, 6),
             "seed": self.seed,

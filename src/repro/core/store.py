@@ -13,6 +13,12 @@ cache means a rerun performs *zero* workload executions.
 
 Entries are self-describing — each file records the full key alongside the
 result payload, so a cache directory doubles as a provenance archive.
+
+The store can be size-bounded: ``ResultStore(root, max_bytes=N)`` evicts
+least-recently-read entries after each write until the directory fits the
+budget (reads refresh an entry's recency by touching its mtime). This is
+the first "store tiers" step — a bounded local tier that a shared remote
+tier can later sit behind.
 """
 
 from __future__ import annotations
@@ -137,10 +143,16 @@ class ResultStore:
     #: age gate keeps a concurrent process's in-flight write safe.
     STALE_TEMP_AGE_S = 3600.0
 
-    def __init__(self, root: str | pathlib.Path) -> None:
+    def __init__(
+        self, root: str | pathlib.Path, *, max_bytes: int | None = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
         self._hits = 0
         self._misses = 0
+        self._evicted = 0
         # A process that died between temp-write and rename leaves a
         # *.tmp-<pid> file behind forever; adopt-and-sweep on open.
         self._sweep_stale_temps(max_age_s=self.STALE_TEMP_AGE_S)
@@ -176,6 +188,12 @@ class ResultStore:
             self._misses += 1
             return None
         self._hits += 1
+        try:
+            # LRU recency marker: a read refreshes the entry's mtime, so
+            # eviction (least-recently-*read*) spares hot entries.
+            os.utime(path)
+        except OSError:
+            pass  # raced with a concurrent clear/evict: still a valid hit
         return result
 
     def put(self, key: StoreKey, result: FigureResult) -> pathlib.Path:
@@ -194,6 +212,8 @@ class ResultStore:
         temp = path.with_suffix(f".tmp-{os.getpid()}")
         temp.write_text(json.dumps(payload, indent=2))
         temp.replace(path)
+        if self.max_bytes is not None:
+            self._evict(protect=path)
         return path
 
     def __contains__(self, key: StoreKey) -> bool:
@@ -220,6 +240,48 @@ class ResultStore:
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed + self._sweep_stale_temps()
+
+    def total_bytes(self) -> int:
+        """Current size of all entries (temp files excluded)."""
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # raced with a concurrent removal
+        return total
+
+    def _evict(self, protect: pathlib.Path) -> int:
+        """Drop least-recently-read entries until the store fits its budget.
+
+        Runs after every write when ``max_bytes`` is set. Recency is the
+        entry's mtime (refreshed by :meth:`get` on hit, set by the write
+        itself). The just-written entry is never evicted — the store
+        always retains at least the newest result, even when it alone
+        exceeds the budget.
+        """
+        entries: list[tuple[float, int, pathlib.Path]] = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent removal
+            total += stat.st_size
+            if path != protect:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest read/write first
+        evicted = 0
+        for mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        self._evicted += evicted
+        return evicted
 
     def _sweep_stale_temps(self, max_age_s: float | None = None) -> int:
         """Remove orphaned ``*.tmp-<pid>`` files from interrupted writes.
@@ -249,5 +311,5 @@ class ResultStore:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters for this process."""
-        return {"hits": self._hits, "misses": self._misses}
+        """Hit/miss/eviction counters for this process."""
+        return {"hits": self._hits, "misses": self._misses, "evicted": self._evicted}

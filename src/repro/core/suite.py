@@ -8,14 +8,15 @@ Execution goes through the :class:`~repro.core.scheduler.ExperimentScheduler`
 layer: results are read through an optional persistent
 :class:`~repro.core.store.ResultStore` before any workload runs, and the
 whole evaluation can execute across a process pool (``jobs=N``) — and
-each figure's repetitions across their own pool (``rep_jobs=N``) — with
-bit-identical output to the serial default.
+each figure's lowered ``(platform, rep)`` grid across one shared worker
+pool (``grid_jobs=N``, see :mod:`repro.core.plan`) — with bit-identical
+output to the serial default.
 
 Example::
 
     from repro import BenchmarkSuite
 
-    suite = BenchmarkSuite(seed=42, jobs=4, rep_jobs=2, cache_dir="results-cache")
+    suite = BenchmarkSuite(seed=42, jobs=4, grid_jobs=2, cache_dir="results-cache")
     print(suite.run_figure("fig11").render())
     report = suite.findings_report()
 """
@@ -51,17 +52,19 @@ class BenchmarkSuite:
         *,
         quick: bool = False,
         jobs: int = 1,
-        rep_jobs: int = 1,
+        grid_jobs: int = 1,
         policy: ExecutionPolicy | None = None,
         cache_dir: str | pathlib.Path | None = None,
+        cache_max_bytes: int | None = None,
         store: ResultStore | None = None,
     ) -> None:
         self.seed = seed
         self.quick = quick
         self.machine = paper_testbed()
-        self.policy = policy or ExecutionPolicy(jobs=jobs, rep_jobs=rep_jobs)
+        self.policy = policy or ExecutionPolicy(jobs=jobs, grid_jobs=grid_jobs)
         self.store = store if store is not None else (
-            ResultStore(cache_dir) if cache_dir is not None else None
+            ResultStore(cache_dir, max_bytes=cache_max_bytes)
+            if cache_dir is not None else None
         )
         self.scheduler = ExperimentScheduler(
             seed, quick=quick, policy=self.policy, store=self.store
@@ -121,6 +124,15 @@ class BenchmarkSuite:
         self._last_report = report
         report.raise_for_errors()
         return self._remember(key, report.results[figure_id], default=default)
+
+    def plan_figure(self, figure_id: str, **overrides: Any):
+        """Lower one figure's plan without executing it (dry-run seam).
+
+        Returns the :class:`~repro.core.plan.LoweredGrid` a
+        :meth:`run_figure` call with the same overrides would dispatch —
+        platforms × reps, exclusions, total width.
+        """
+        return self.scheduler.plan_for(figure_id, overrides or None)
 
     def run_all(self, figure_ids: list[str] | None = None) -> dict[str, FigureResult]:
         """Run every figure reproduction (or a subset) through the scheduler.
@@ -196,8 +208,8 @@ class BenchmarkSuite:
             f"Simulated testbed: {self.machine.describe()}\n"
             f"Execution: backend={self.policy.resolved_backend} "
             f"jobs={self.policy.jobs} "
-            f"rep_backend={self.policy.resolved_rep_backend} "
-            f"rep_jobs={self.policy.rep_jobs} "
+            f"grid_backend={self.policy.resolved_grid_backend} "
+            f"grid_jobs={self.policy.grid_jobs} "
             f"store={self.store.root if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
         )
@@ -232,8 +244,8 @@ class BenchmarkSuite:
                     "quick": self.quick,
                     "backend": self.policy.resolved_backend,
                     "jobs": self.policy.jobs,
-                    "rep_backend": self.policy.resolved_rep_backend,
-                    "rep_jobs": self.policy.rep_jobs,
+                    "grid_backend": self.policy.resolved_grid_backend,
+                    "grid_jobs": self.policy.grid_jobs,
                     "machine": self.machine.describe(),
                     "figures": [p.name for p in written],
                     "provenance": provenance,

@@ -98,15 +98,53 @@ class TestCommands:
         assert "unknown figure" in captured.err
         assert "Traceback" not in captured.err
 
-    def test_run_rep_jobs_flag(self, capsys):
-        assert main(["run", "fig11", "--quick", "--rep-jobs", "2", "--provenance"]) == 0
+    def test_run_grid_jobs_flag(self, capsys):
+        assert main(["run", "fig11", "--quick", "--grid-jobs", "2", "--provenance"]) == 0
         out = capsys.readouterr().out
         assert "iperf3" in out
-        assert "rep=process:2" in out
+        assert "grid=process:2" in out
+        assert "width=30" in out  # 10 network platforms x 3 quick reps
 
-    def test_rep_jobs_results_match_serial(self, capsys):
+    def test_rep_jobs_is_a_deprecated_alias(self, capsys):
+        assert main(["run", "fig11", "--quick", "--rep-jobs", "2", "--provenance"]) == 0
+        out = capsys.readouterr().out
+        assert "grid=process:2" in out
+
+    def test_grid_jobs_results_match_serial(self, capsys):
         assert main(["run", "fig12", "--quick"]) == 0
         serial_out = capsys.readouterr().out
-        assert main(["run", "fig12", "--quick", "--rep-jobs", "3"]) == 0
-        rep_out = capsys.readouterr().out
-        assert rep_out == serial_out
+        assert main(["run", "fig12", "--quick", "--grid-jobs", "3"]) == 0
+        grid_out = capsys.readouterr().out
+        assert grid_out == serial_out
+
+    def test_plan_command_prints_grid_without_running(self, capsys):
+        assert main(["plan", "fig09", "--quick", "--grid-jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09: 21 grid job(s)" in out  # 7 platforms x 3 quick reps
+        assert "backend=process, grid-jobs=2" in out
+        assert "fio-throughput" in out
+        assert "MB/s" not in out  # no results were rendered
+
+    def test_plan_unknown_figure_is_a_clean_error(self, capsys):
+        assert main(["plan", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_run_dry_run_prints_grids_only(self, capsys):
+        assert main(["run", "fig05", "--quick", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05: 27 grid job(s)" in out  # 9 cpu platforms x 3 quick reps
+        assert "ffmpeg" in out
+        assert "ms" not in out.split("grid job(s)")[0]  # no rendered figure
+
+    def test_cache_max_mb_requires_cache(self, capsys):
+        assert main(["run", "fig12", "--quick", "--cache-max-mb", "1"]) == 2
+        assert "--cache" in capsys.readouterr().err
+
+    def test_cache_max_mb_bounds_the_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["run", "fig12", "--quick", "--cache", cache, "--cache-max-mb", "1"]
+        ) == 0
+        capsys.readouterr()
+        total = sum(p.stat().st_size for p in (tmp_path / "cache").glob("*.json"))
+        assert total <= 1024 * 1024

@@ -1,10 +1,11 @@
-"""Tests for repetition-level parallelism.
+"""Tests for grid-level parallelism (the unified (platform × rep) pool).
 
-Covers the issue's tentpole checklist: the picklable RepJob worker (the
-closure in ``collect_results`` broke every process-pool mapper), the
-serial/thread/process rep mappers and their order preservation, the
-``execution_context`` plumbing from ExecutionPolicy down to Runner, and
-serial-vs-parallel bit-identity at every layer (runner, scheduler, suite).
+Covers the picklable RepJob worker (a closure-based dispatch would break
+every process-pool mapper), the serial/thread/process grid mappers and
+their order preservation, the ``execution_context`` plumbing from
+ExecutionPolicy down to the plan layer, mapper lifetime under mid-grid
+failures, and serial-vs-grid-pool bit-identity at every layer (runner,
+scheduler, suite).
 """
 
 import pickle
@@ -13,12 +14,14 @@ import time
 import pytest
 
 from repro.core.runner import (
+    GRID_BACKENDS,
     REP_BACKENDS,
     PoolMapper,
     RepJob,
     Runner,
-    active_rep_mapper,
+    active_grid_mapper,
     execution_context,
+    grid_mapper,
     rep_mapper,
     run_rep_job,
 )
@@ -52,7 +55,7 @@ def _sleepy_identity(item):
 
 
 class TestRepJobPickling:
-    """Regression: the old closure-based dispatch broke pool mappers."""
+    """Regression: a closure-based dispatch would break pool mappers."""
 
     def test_rep_job_round_trips_through_pickle(self):
         runner = Runner(42, "fig11")
@@ -71,11 +74,10 @@ class TestRepJobPickling:
         assert pickle.loads(pickle.dumps(run_rep_job)) is run_rep_job
 
     def test_process_mapper_through_runner(self):
-        # The old lambda-based dispatch raised PicklingError here.
         serial = Runner(42, "fig11").collect(
             IperfWorkload(), get_platform("docker"), 4, lambda r: r.throughput_gbit_per_s
         )
-        with rep_mapper("process", 2) as mapper:
+        with grid_mapper("process", 2) as mapper:
             pooled = Runner(42, "fig11", mapper=mapper).collect(
                 IperfWorkload(),
                 get_platform("docker"),
@@ -85,29 +87,34 @@ class TestRepJobPickling:
         assert pooled == serial
 
 
-class TestRepMappers:
+class TestGridMappers:
     def test_serial_backend_and_width_one_collapse(self):
-        assert rep_mapper("serial", 8)(lambda x: x + 1, [1, 2]) == [2, 3]
-        assert not isinstance(rep_mapper("thread", 1), PoolMapper)
-        assert not isinstance(rep_mapper("process", 1), PoolMapper)
+        assert grid_mapper("serial", 8)(lambda x: x + 1, [1, 2]) == [2, 3]
+        assert not isinstance(grid_mapper("thread", 1), PoolMapper)
+        assert not isinstance(grid_mapper("process", 1), PoolMapper)
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ConfigurationError, match="rep backend"):
-            rep_mapper("gpu", 2)
+        with pytest.raises(ConfigurationError, match="grid backend"):
+            grid_mapper("gpu", 2)
 
     def test_invalid_width_rejected(self):
         with pytest.raises(ConfigurationError, match=">= 1"):
-            rep_mapper("thread", 0)
+            grid_mapper("thread", 0)
+
+    def test_rep_mapper_alias_survives(self):
+        # The PR 2 names keep working for existing callers.
+        assert rep_mapper is grid_mapper
+        assert REP_BACKENDS == GRID_BACKENDS
 
     @pytest.mark.parametrize("backend", ["thread", "process"])
     def test_order_preserved_under_out_of_order_completion(self, backend):
         total = 4
         items = [(index, total) for index in range(total)]
-        with rep_mapper(backend, total) as mapper:
+        with grid_mapper(backend, total) as mapper:
             assert mapper(_sleepy_identity, items) == list(range(total))
 
     def test_pool_is_reused_across_batches(self):
-        mapper = rep_mapper("thread", 2)
+        mapper = grid_mapper("thread", 2)
         try:
             mapper(_sleepy_identity, [(0, 2), (1, 2)])
             first = mapper._executor
@@ -119,7 +126,7 @@ class TestRepMappers:
         assert mapper._executor is None
 
     def test_single_item_skips_the_pool(self):
-        mapper = rep_mapper("process", 4)
+        mapper = grid_mapper("process", 4)
         try:
             assert mapper(_sleepy_identity, [(0, 1)]) == [0]
             assert mapper._executor is None  # never forked a worker
@@ -144,10 +151,10 @@ class TestExecutionContext:
         assert seen == [3]
 
     def test_context_resets_on_exit(self):
-        assert active_rep_mapper() is None
+        assert active_grid_mapper() is None
         with execution_context(lambda fn, items: [fn(i) for i in items]):
-            assert active_rep_mapper() is not None
-        assert active_rep_mapper() is None
+            assert active_grid_mapper() is not None
+        assert active_grid_mapper() is None
 
     def test_explicit_mapper_wins_over_context(self):
         explicit, ambient = [], []
@@ -179,56 +186,94 @@ class TestExecutionContext:
         assert [s.seed for s in streams] == [s.seed for s in again]
 
 
-class TestPolicyRepDimension:
+class TestPolicyGridDimension:
     def test_defaults_stay_serial(self):
         policy = ExecutionPolicy()
-        assert policy.rep_jobs == 1
-        assert policy.resolved_rep_backend == BACKEND_SERIAL
+        assert policy.grid_jobs == 1
+        assert policy.resolved_grid_backend == BACKEND_SERIAL
         assert not isinstance(policy.mapper(), PoolMapper)
 
-    def test_rep_jobs_opt_into_pool(self):
-        policy = ExecutionPolicy(rep_jobs=3)
-        assert policy.resolved_rep_backend == BACKEND_PROCESS
+    def test_grid_jobs_opt_into_pool(self):
+        policy = ExecutionPolicy(grid_jobs=3)
+        assert policy.resolved_grid_backend == BACKEND_PROCESS
         mapper = policy.mapper()
         assert isinstance(mapper, PoolMapper)
         assert mapper.jobs == 3
 
-    def test_explicit_rep_backend_wins(self):
-        policy = ExecutionPolicy(rep_jobs=3, rep_backend=BACKEND_THREAD)
-        assert policy.resolved_rep_backend == BACKEND_THREAD
+    def test_explicit_grid_backend_wins(self):
+        policy = ExecutionPolicy(grid_jobs=3, grid_backend=BACKEND_THREAD)
+        assert policy.resolved_grid_backend == BACKEND_THREAD
 
-    def test_invalid_rep_policy_rejected(self):
+    def test_invalid_grid_policy_rejected(self):
         with pytest.raises(ConfigurationError):
-            ExecutionPolicy(rep_jobs=0)
+            ExecutionPolicy(grid_jobs=0)
         with pytest.raises(ConfigurationError):
-            ExecutionPolicy(rep_backend="gpu")
+            ExecutionPolicy(grid_backend="gpu")
 
     def test_serial_classmethod_pins_both_levels(self):
         policy = ExecutionPolicy.serial()
         assert policy.resolved_backend == BACKEND_SERIAL
-        assert policy.resolved_rep_backend == BACKEND_SERIAL
+        assert policy.resolved_grid_backend == BACKEND_SERIAL
 
-    def test_rep_backends_constant_matches_scheduler_names(self):
-        assert set(REP_BACKENDS) == {BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS}
+    def test_grid_backends_constant_matches_scheduler_names(self):
+        assert set(GRID_BACKENDS) == {BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS}
 
-    def test_jobs_carry_the_rep_policy(self):
-        job = ExperimentJob.build("fig11", 42, {}, rep_backend=BACKEND_THREAD, rep_jobs=2)
-        assert job.rep_backend == BACKEND_THREAD
-        assert job.rep_jobs == 2
-        # Rep policy is execution detail, not identity.
+    def test_jobs_carry_the_grid_policy(self):
+        job = ExperimentJob.build(
+            "fig11", 42, {}, grid_backend=BACKEND_THREAD, grid_jobs=2
+        )
+        assert job.grid_backend == BACKEND_THREAD
+        assert job.grid_jobs == 2
+        # Grid policy is execution detail, not identity.
         assert job.job_seed == ExperimentJob.build("fig11", 42, {}).job_seed
 
 
-class TestRepLevelDeterminism:
-    """Serial vs thread vs process rep backends are bit-identical."""
+class TestMapperLifetime:
+    """The scheduler's job wrapper owns the grid pool, even on failure."""
+
+    @pytest.fixture
+    def tracked_pools(self, monkeypatch):
+        from repro.core import scheduler as scheduler_module
+
+        created = []
+        real_grid_mapper = scheduler_module.grid_mapper
+
+        def tracking_grid_mapper(backend, jobs):
+            mapper = real_grid_mapper(backend, jobs)
+            if isinstance(mapper, PoolMapper):
+                created.append(mapper)
+            return mapper
+
+        monkeypatch.setattr(scheduler_module, "grid_mapper", tracking_grid_mapper)
+        return created
+
+    def test_raising_figure_still_closes_the_pool(self, tracked_pools):
+        policy = ExecutionPolicy(grid_jobs=2, grid_backend=BACKEND_THREAD)
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(
+            ["fig11"], overrides={"fig11": {"bogus_kwarg": 1}}
+        )
+        assert "fig11" in report.errors  # the figure raised mid-job
+        assert len(tracked_pools) == 1
+        assert tracked_pools[0]._executor is None  # ExitStack released the pool
+
+    def test_successful_job_closes_the_pool_too(self, tracked_pools):
+        policy = ExecutionPolicy(grid_jobs=2, grid_backend=BACKEND_THREAD)
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(["fig11"])
+        assert not report.errors
+        assert len(tracked_pools) == 1
+        assert tracked_pools[0]._executor is None
+
+
+class TestGridLevelDeterminism:
+    """Serial vs thread vs process grid backends are bit-identical."""
 
     @pytest.fixture(scope="class")
     def serial_report(self):
         return ExperimentScheduler(42, quick=True).run(SUBSET)
 
     @pytest.mark.parametrize("backend", [BACKEND_THREAD, BACKEND_PROCESS])
-    def test_rep_backends_bit_identical_to_serial(self, serial_report, backend):
-        policy = ExecutionPolicy(rep_jobs=2, rep_backend=backend)
+    def test_grid_backends_bit_identical_to_serial(self, serial_report, backend):
+        policy = ExecutionPolicy(grid_jobs=2, grid_backend=backend)
         report = ExperimentScheduler(42, quick=True, policy=policy).run(SUBSET)
         for figure_id in SUBSET:
             assert (
@@ -236,8 +281,8 @@ class TestRepLevelDeterminism:
                 == serial_report.results[figure_id].comparable_dict()
             ), figure_id
 
-    def test_figure_pool_composes_with_rep_pool(self, serial_report):
-        policy = ExecutionPolicy(jobs=2, rep_jobs=2, rep_backend=BACKEND_THREAD)
+    def test_figure_pool_composes_with_grid_pool(self, serial_report):
+        policy = ExecutionPolicy(jobs=2, grid_jobs=2, grid_backend=BACKEND_THREAD)
         report = ExperimentScheduler(42, quick=True, policy=policy).run(SUBSET)
         for figure_id in SUBSET:
             assert (
@@ -245,53 +290,58 @@ class TestRepLevelDeterminism:
                 == serial_report.results[figure_id].comparable_dict()
             ), figure_id
         assert {r.backend for r in report.records} == {BACKEND_PROCESS}
-        assert {r.rep_backend for r in report.records} == {BACKEND_THREAD}
+        assert {r.grid_backend for r in report.records} == {BACKEND_THREAD}
 
-    def test_rep_backend_recorded_in_provenance(self):
-        policy = ExecutionPolicy(rep_jobs=2, rep_backend=BACKEND_THREAD)
+    def test_grid_backend_recorded_in_provenance(self):
+        policy = ExecutionPolicy(grid_jobs=2, grid_backend=BACKEND_THREAD)
         report = ExperimentScheduler(42, quick=True, policy=policy).run(["fig11"])
         provenance = report.results["fig11"].provenance
-        assert provenance["rep_backend"] == BACKEND_THREAD
-        assert provenance["rep_jobs"] == 2
+        assert provenance["grid_backend"] == BACKEND_THREAD
+        assert provenance["grid_jobs"] == 2
+        # Quick fig11 lowers to 10 platforms x 3 reps, all in one dispatch.
+        assert provenance["grid_width"] == 30
         record = report.record_for("fig11")
-        assert record.rep_backend == BACKEND_THREAD
-        assert record.rep_jobs == 2
-        assert record.to_dict()["rep_backend"] == BACKEND_THREAD
+        assert record.grid_backend == BACKEND_THREAD
+        assert record.grid_jobs == 2
+        assert record.grid_width == 30
+        assert record.to_dict()["grid_backend"] == BACKEND_THREAD
+        assert record.to_dict()["grid_width"] == 30
 
-    def test_cache_hits_have_no_rep_backend(self, tmp_path):
+    def test_cache_hits_have_no_grid_backend(self, tmp_path):
         store = ResultStore(tmp_path)
-        policy = ExecutionPolicy(rep_jobs=2, rep_backend=BACKEND_THREAD)
+        policy = ExecutionPolicy(grid_jobs=2, grid_backend=BACKEND_THREAD)
         ExperimentScheduler(42, quick=True, policy=policy, store=store).run(["fig11"])
         warm = ExperimentScheduler(42, quick=True, policy=policy, store=store).run(
             ["fig11"]
         )
         record = warm.record_for("fig11")
         assert record.cache_hit
-        assert record.rep_backend is None
-        # ... and a store hit is bit-identical to a rep-parallel execution.
+        assert record.grid_backend is None
+        assert record.grid_width is None
+        # ... and a store hit is bit-identical to a grid-parallel execution.
         cold = ExperimentScheduler(42, quick=True).run(["fig11"])
         assert (
             warm.results["fig11"].comparable_dict()
             == cold.results["fig11"].comparable_dict()
         )
 
-    def test_suite_rep_jobs_bit_identical(self):
+    def test_suite_grid_jobs_bit_identical(self):
         serial = BenchmarkSuite(seed=42, quick=True).run_figure("fig12")
-        parallel = BenchmarkSuite(seed=42, quick=True, rep_jobs=2).run_figure("fig12")
+        parallel = BenchmarkSuite(seed=42, quick=True, grid_jobs=2).run_figure("fig12")
         assert parallel.comparable_dict() == serial.comparable_dict()
-        assert parallel.provenance["rep_backend"] == BACKEND_PROCESS
+        assert parallel.provenance["grid_backend"] == BACKEND_PROCESS
 
-    def test_suite_describe_shows_rep_policy(self):
-        suite = BenchmarkSuite(seed=42, rep_jobs=2)
-        assert "rep_backend=process" in suite.describe()
-        assert "rep_jobs=2" in suite.describe()
+    def test_suite_describe_shows_grid_policy(self):
+        suite = BenchmarkSuite(seed=42, grid_jobs=2)
+        assert "grid_backend=process" in suite.describe()
+        assert "grid_jobs=2" in suite.describe()
 
-    def test_suite_manifest_records_rep_policy(self, tmp_path):
-        suite = BenchmarkSuite(seed=42, quick=True, rep_jobs=2)
+    def test_suite_manifest_records_grid_policy(self, tmp_path):
+        suite = BenchmarkSuite(seed=42, quick=True, grid_jobs=2)
         suite.run_figure("fig11")
         suite.save_results(tmp_path)
         import json
 
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        assert manifest["rep_backend"] == BACKEND_PROCESS
-        assert manifest["rep_jobs"] == 2
+        assert manifest["grid_backend"] == BACKEND_PROCESS
+        assert manifest["grid_jobs"] == 2

@@ -1,0 +1,248 @@
+"""Tests for the declarative plan layer and (platform × rep) lowering.
+
+The tentpole guarantees: every figure's lowered grid covers exactly its
+platform roster × repetitions (minus recorded exclusions), the whole grid
+goes through ONE mapper dispatch, stream derivation matches the
+historical per-platform loops, and serial vs flat-pool execution is
+bit-identical at the runner, scheduler, and suite layers.
+"""
+
+import pytest
+
+from repro.core.figures import (
+    FIGURES,
+    PLAN_BUILDERS,
+    build_plan,
+    figure_ids,
+    lower_figure,
+    run_figure,
+)
+from repro.core.plan import FigurePlan, MeasurementSpec
+from repro.core.runner import PoolMapper, Runner, execution_context, grid_mapper
+from repro.core.scheduler import ExperimentScheduler, quick_overrides
+from repro.core.suite import BenchmarkSuite
+from repro.errors import ConfigurationError
+from repro.platforms import PLATFORM_SETS
+from repro.workloads.iperf import IperfWorkload
+
+SEED = 42
+
+#: Expected roster per figure (the declared platform set, pre-exclusion).
+FIGURE_ROSTERS = {
+    "fig05": "cpu",
+    "cpu-prime": "cpu",
+    "fig06": "memory",
+    "fig07": "memory",
+    "fig08": "memory",
+    "fig09": "io_throughput",
+    "fig10": "io_latency",
+    "fig11": "network",
+    "fig12": "network",
+    "fig13": "container_boot",
+    "fig14": "hypervisor_boot",
+    "fig15": "osv_boot",
+    "fig16": "applications",
+    "fig17": "applications",
+    "fig18": "security",
+}
+
+
+class TestRegistry:
+    def test_every_figure_has_a_plan_builder(self):
+        assert set(PLAN_BUILDERS) == set(FIGURES)
+        assert set(FIGURE_ROSTERS) == set(FIGURES)
+
+    def test_build_plan_returns_unexecuted_declaration(self):
+        plan = build_plan("fig11", repetitions=2)
+        assert isinstance(plan, FigurePlan)
+        assert plan.figure_id == "fig11"
+        assert all(isinstance(spec, MeasurementSpec) for spec in plan.specs)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            build_plan("fig99")
+
+
+class TestLoweringCoverage:
+    """Each grid covers exactly platform-set × repetitions."""
+
+    @pytest.mark.parametrize("figure_id", sorted(FIGURES))
+    def test_grid_covers_roster_times_reps(self, figure_id):
+        kwargs = quick_overrides(figure_id)
+        grid = lower_figure(figure_id, SEED, **kwargs)
+        declared = list(PLATFORM_SETS[FIGURE_ROSTERS[figure_id]])
+        for spec in grid.specs:
+            assert list(spec.platforms) == declared
+            included = grid.included_platforms(spec)
+            excluded = [
+                e.platform for e in grid.exclusions if e.spec_key == spec.key
+            ]
+            # Exclusions + included == the declared roster, nothing dropped.
+            assert sorted(included + excluded) == sorted(declared)
+            cells = [c for c in grid.cells if c.spec_key == spec.key]
+            assert [(c.platform, c.rep_index) for c in cells] == [
+                (name, rep)
+                for name in included
+                for rep in range(spec.repetitions)
+            ]
+        assert grid.width == sum(
+            len(grid.included_platforms(spec)) * spec.repetitions
+            for spec in grid.specs
+        )
+
+    def test_known_exclusions_are_recorded(self):
+        grid = lower_figure("fig06", SEED, repetitions=2, huge_pages=True)
+        assert "kata" in [e.platform for e in grid.exclusions]
+        assert "kata" not in [c.platform for c in grid.cells]
+
+    def test_repetition_override_changes_width(self):
+        assert lower_figure("fig11", SEED, repetitions=2).width == 2 * len(
+            PLATFORM_SETS["network"]
+        )
+        assert lower_figure("fig11", SEED, repetitions=5).width == 5 * len(
+            PLATFORM_SETS["network"]
+        )
+
+    def test_multi_method_startup_figure_has_one_spec_per_method(self):
+        grid = lower_figure("fig15", SEED, startups=10)
+        assert [spec.key for spec in grid.specs] == ["end-to-end", "stdout-grep"]
+        assert grid.width == 2 * len(PLATFORM_SETS["osv_boot"])
+
+
+class TestLoweringStreams:
+    """Cell streams replicate the historical Runner derivations exactly."""
+
+    def test_split_spec_streams_match_runner_rep_streams(self):
+        grid = lower_figure("fig11", SEED, repetitions=3)
+        runner = Runner(SEED, "fig11")
+        for cell in grid.cells:
+            expected = runner.rep_streams(cell.job.platform, 3)[cell.rep_index]
+            assert cell.job.stream.path == expected.path
+            assert cell.job.stream.seed == expected.seed
+
+    def test_whole_stream_spec_matches_runner_stream_for(self):
+        grid = lower_figure("fig13", SEED, startups=10)
+        runner = Runner(SEED, "fig13")
+        for cell in grid.cells:
+            expected = runner.stream_for(cell.job.platform, "end-to-end")
+            assert cell.job.stream.path == expected.path
+            assert cell.job.stream.seed == expected.seed
+
+    def test_lowering_is_pure_and_deterministic(self):
+        once = lower_figure("fig12", SEED, repetitions=2)
+        again = lower_figure("fig12", SEED, repetitions=2)
+        assert [(c.spec_key, c.platform, c.rep_index, c.job.stream.seed)
+                for c in once.cells] == \
+               [(c.spec_key, c.platform, c.rep_index, c.job.stream.seed)
+                for c in again.cells]
+
+    def test_split_reps_false_requires_single_repetition(self):
+        with pytest.raises(ConfigurationError, match="split_reps"):
+            MeasurementSpec(
+                key="m0",
+                workload=IperfWorkload(),
+                platforms=("docker",),
+                repetitions=2,
+                split_reps=False,
+            )
+
+
+class TestFlatDispatch:
+    """The tentpole: one mapper call covers the whole grid."""
+
+    @pytest.mark.parametrize("figure_id", ["fig05", "fig09", "fig15", "fig18"])
+    def test_figure_dispatches_grid_in_one_call(self, figure_id):
+        calls = []
+
+        def recording_map(fn, items):
+            items = list(items)
+            calls.append(len(items))
+            return [fn(item) for item in items]
+
+        kwargs = quick_overrides(figure_id)
+        expected = lower_figure(figure_id, SEED, **kwargs).width
+        with execution_context(recording_map):
+            run_figure(figure_id, SEED, **kwargs)
+        assert calls == [expected]
+
+    def test_no_per_platform_loops_remain_in_figures(self):
+        # The acceptance criterion, enforced structurally: figure code no
+        # longer calls Runner dispatch helpers per platform.
+        import inspect
+
+        from repro.core import figures
+
+        source = inspect.getsource(figures)
+        for legacy in ("runner.repeat(", "runner.collect(", "runner.collect_results("):
+            assert legacy not in source
+
+
+class TestBitIdentity:
+    """Serial vs flat-pool grids agree bit-for-bit at every layer."""
+
+    @pytest.mark.parametrize("figure_id", ["fig05", "fig06", "fig13", "fig18"])
+    def test_runner_layer_plan_run(self, figure_id):
+        kwargs = quick_overrides(figure_id)
+        serial = build_plan(figure_id, **kwargs).run(SEED)
+        with grid_mapper("thread", 2) as mapper:
+            pooled = build_plan(figure_id, **kwargs).run(SEED, mapper)
+        assert pooled.comparable_dict() == serial.comparable_dict()
+
+    def test_runner_layer_process_pool(self):
+        kwargs = quick_overrides("fig05")
+        serial = build_plan("fig05", **kwargs).run(SEED)
+        with grid_mapper("process", 2) as mapper:
+            pooled = build_plan("fig05", **kwargs).run(SEED, mapper)
+        assert pooled.comparable_dict() == serial.comparable_dict()
+
+    def test_scheduler_layer(self):
+        from repro.core.scheduler import ExecutionPolicy
+
+        serial = ExperimentScheduler(SEED, quick=True).run(["fig05"])
+        pooled = ExperimentScheduler(
+            SEED, quick=True, policy=ExecutionPolicy(grid_jobs=2)
+        ).run(["fig05"])
+        assert (
+            pooled.results["fig05"].comparable_dict()
+            == serial.results["fig05"].comparable_dict()
+        )
+
+    def test_suite_layer(self):
+        serial = BenchmarkSuite(seed=SEED, quick=True).run_figure("fig05")
+        pooled = BenchmarkSuite(seed=SEED, quick=True, grid_jobs=2).run_figure("fig05")
+        assert pooled.comparable_dict() == serial.comparable_dict()
+
+
+class TestGridOutcomeFolding:
+    def test_exclusion_notes_precede_static_notes(self):
+        result = run_figure("fig09", SEED, repetitions=2)
+        # Roster-level exclusions live in the trailing static note; a
+        # custom roster forces a lowering-time exclusion, which must come
+        # before it.
+        roster = list(PLATFORM_SETS["io_throughput"]) + ["firecracker"]
+        result = run_figure("fig09", SEED, repetitions=2, platforms=roster)
+        excluded_idx = [i for i, n in enumerate(result.notes) if "firecracker" in n]
+        static_idx = [i for i, n in enumerate(result.notes) if "Section 3.3" in n]
+        assert excluded_idx and static_idx
+        assert max(excluded_idx) < min(static_idx)
+
+    def test_describe_mentions_platforms_and_shape(self):
+        grid = lower_figure("fig11", SEED, repetitions=3)
+        text = grid.describe(backend="process", workers=4)
+        assert "fig11" in text
+        assert "grid-jobs=4" in text
+        assert "3 rep(s)" in text
+        assert "gvisor" in text
+
+    def test_duplicate_measurement_keys_rejected(self):
+        plan = FigurePlan(figure_id="figX", title="t", unit="u")
+        plan.measure(IperfWorkload(), ["docker"], 1, key="m")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            plan.measure(IperfWorkload(), ["docker"], 1, key="m")
+
+    def test_suite_plan_figure_matches_direct_lowering(self):
+        suite = BenchmarkSuite(seed=SEED, quick=True)
+        grid = suite.plan_figure("fig11")
+        assert grid.width == lower_figure("fig11", SEED, repetitions=3).width
+        with pytest.raises(ConfigurationError, match="unknown figure"):
+            suite.plan_figure("fig99")

@@ -106,7 +106,7 @@ class TestResultStore:
         loaded = store.get(key)
         assert loaded is not None
         assert loaded.to_dict() == sample_result().to_dict()
-        assert store.stats == {"hits": 1, "misses": 1}
+        assert store.stats == {"hits": 1, "misses": 1, "evicted": 0}
 
     def test_seed_and_override_changes_miss(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -200,3 +200,67 @@ class TestStaleTempSweep:
         assert path.exists()
         assert store.get(key) is not None
         assert list(tmp_path.glob("*.tmp-*")) == []  # put renamed its temp away
+
+
+class TestEviction:
+    """Size-bounded LRU eviction: least-recently-read entries go first."""
+
+    @staticmethod
+    def key(n):
+        return StoreKey.for_run("figX", n, False, None)
+
+    @staticmethod
+    def entry_size(tmp_path):
+        """The on-disk size of one entry in this store's format."""
+        probe = ResultStore(tmp_path / "probe")
+        path = probe.put(StoreKey.for_run("figX", 0, False, None), sample_result())
+        return path.stat().st_size
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            ResultStore(tmp_path, max_bytes=0)
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in range(10):
+            store.put(self.key(n), sample_result())
+        assert len(list(tmp_path.glob("*.json"))) == 10
+        assert store.stats["evicted"] == 0
+
+    def test_writes_keep_store_under_budget(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        store = ResultStore(tmp_path, max_bytes=3 * size)
+        for n in range(8):
+            store.put(self.key(n), sample_result())
+            assert store.total_bytes() <= store.max_bytes
+        assert store.stats["evicted"] == 5
+        # The survivors are the most recently written entries.
+        assert store.get(self.key(7)) is not None
+        assert store.get(self.key(0)) is None
+
+    def test_least_recently_read_goes_first(self, tmp_path):
+        import os
+        import time
+
+        size = self.entry_size(tmp_path)
+        store = ResultStore(tmp_path, max_bytes=2 * size + size // 2)
+        store.put(self.key(0), sample_result())
+        store.put(self.key(1), sample_result())
+        # Back-date both, then read key 0: it becomes the hot entry even
+        # though it was written first.
+        for n in (0, 1):
+            path = store.path_for(self.key(n))
+            os.utime(path, (time.time() - 100, time.time() - 100))
+        assert store.get(self.key(0)) is not None
+        store.put(self.key(2), sample_result())
+        assert store.get(self.key(0)) is not None  # recently read: kept
+        assert store.path_for(self.key(1)).exists() is False  # LRU: evicted
+
+    def test_just_written_entry_survives_tiny_budget(self, tmp_path):
+        # A budget smaller than one entry still retains the newest result.
+        store = ResultStore(tmp_path, max_bytes=1)
+        store.put(self.key(0), sample_result())
+        assert store.get(self.key(0)) is not None
+        store.put(self.key(1), sample_result())
+        assert store.get(self.key(1)) is not None
+        assert store.path_for(self.key(0)).exists() is False
