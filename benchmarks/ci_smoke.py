@@ -1,16 +1,19 @@
 """CI benchmark smoke: serial vs. parallel-backend determinism gates.
 
-Runs a small figure subset through ``BenchmarkSuite(quick=True)`` three
-times — once on the serial backend, once across a figure-level process
-pool, and once with the flat (platform x rep) grid pool (``grid_jobs``)
-— and asserts all summaries are bit-identical, then archives the pool
-run's JSON + manifest as the CI artifact. The emitted ``BENCH_smoke.json``
-records per-backend wall times, seeding the repo's performance
-trajectory.
+Runs a small figure subset through ``BenchmarkSuite(quick=True)`` —
+once on the serial backend, once across a figure-level process pool,
+once with the flat (platform x rep) grid pool (``grid_jobs``), and
+(when ``--remote-workers`` names a fleet) once through the remote grid
+backend — and asserts all summaries are bit-identical, then archives
+the pool run's JSON + manifest as the CI artifact. The emitted
+``BENCH_smoke.json`` records per-backend wall times, seeding the repo's
+performance trajectory.
 
 Usage::
 
     python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2 --grid-jobs 2
+    # with a worker started via `repro-bench worker --port 7077`:
+    python benchmarks/ci_smoke.py --remote-workers 127.0.0.1:7077
 """
 
 from __future__ import annotations
@@ -35,9 +38,15 @@ SMOKE_FIGURES = ["fig05", "cpu-prime", "fig11", "fig12", "fig17", "fig18"]
 
 
 def run_backend(
-    seed: int, jobs: int, figures: list[str], grid_jobs: int = 1
+    seed: int,
+    jobs: int,
+    figures: list[str],
+    grid_jobs: int = 1,
+    workers: tuple[str, ...] = (),
 ) -> tuple[BenchmarkSuite, float]:
-    suite = BenchmarkSuite(seed=seed, quick=True, jobs=jobs, grid_jobs=grid_jobs)
+    suite = BenchmarkSuite(
+        seed=seed, quick=True, jobs=jobs, grid_jobs=grid_jobs, workers=workers
+    )
     started = time.perf_counter()
     suite.run_all(figures)
     return suite, time.perf_counter() - started
@@ -67,7 +76,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--figures", nargs="*", default=SMOKE_FIGURES, help="figure subset to exercise"
     )
+    parser.add_argument(
+        "--remote-workers", default=None, metavar="HOST:PORT[,...]",
+        help="also gate serial vs the remote grid backend against this "
+             "worker fleet (each member: repro-bench worker --port P)",
+    )
     args = parser.parse_args(argv)
+    remote_fleet = tuple(
+        part.strip() for part in args.remote_workers.split(",") if part.strip()
+    ) if args.remote_workers else ()
 
     serial_suite, serial_wall = run_backend(args.seed, 1, args.figures)
     parallel_suite, parallel_wall = run_backend(args.seed, args.jobs, args.figures)
@@ -75,12 +92,24 @@ def main(argv: list[str] | None = None) -> int:
 
     pool_mismatches = compare(serial_suite, parallel_suite, args.figures)
     grid_mismatches = compare(serial_suite, grid_suite, args.figures)
-    mismatches = sorted(set(pool_mismatches) | set(grid_mismatches))
+    remote_mismatches: list[str] = []
+    remote_wall = None
+    if remote_fleet:
+        remote_suite, remote_wall = run_backend(
+            args.seed, 1, args.figures, workers=remote_fleet
+        )
+        remote_mismatches = compare(serial_suite, remote_suite, args.figures)
+    mismatches = sorted(
+        set(pool_mismatches) | set(grid_mismatches) | set(remote_mismatches)
+    )
     status = "ok" if not mismatches else f"MISMATCH: {', '.join(mismatches)}"
+    remote_note = (
+        f" remote[{','.join(remote_fleet)}]={remote_wall:.2f}s" if remote_fleet else ""
+    )
     print(
         f"smoke[{','.join(args.figures)}] seed={args.seed} "
         f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s "
-        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s -> {status}"
+        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s{remote_note} -> {status}"
     )
 
     out = pathlib.Path(args.out)
@@ -93,12 +122,15 @@ def main(argv: list[str] | None = None) -> int:
                 "serial_wall_s": round(serial_wall, 4),
                 "parallel_wall_s": round(parallel_wall, 4),
                 "grid_parallel_wall_s": round(grid_wall, 4),
+                "remote_wall_s": round(remote_wall, 4) if remote_wall is not None else None,
                 "jobs": args.jobs,
                 "grid_jobs": args.grid_jobs,
+                "remote_workers": list(remote_fleet),
                 "identical": not mismatches,
                 "mismatches": mismatches,
                 "pool_mismatches": pool_mismatches,
                 "grid_mismatches": grid_mismatches,
+                "remote_mismatches": remote_mismatches,
             },
             indent=2,
         )

@@ -9,6 +9,8 @@ Installed as ``repro-bench``::
     repro-bench [--seed N] run all [--quick] [--jobs 4] [--provenance]
     repro-bench run all   [--dry-run]           # print lowered grids only
     repro-bench plan fig09 [--quick]            # inspect one figure's grid
+    repro-bench worker --port 7077              # join the worker fleet
+    repro-bench run fig05 --grid-backend remote --workers 127.0.0.1:7077
     repro-bench [--seed N] findings [--cache DIR]
     repro-bench hap [platform ...]
 
@@ -60,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
              "construction; --rep-jobs is the deprecated alias)",
     )
     run.add_argument(
+        "--grid-backend", metavar="BACKEND", default=None,
+        help="grid backend: serial, thread, process, or remote "
+             "(default: auto — process when --grid-jobs > 1, remote when "
+             "--workers is given)",
+    )
+    run.add_argument(
+        "--workers", metavar="HOST:PORT[,...]", default=None,
+        help="comma-separated worker fleet for the remote grid backend "
+             "(each started with: repro-bench worker --port P); results "
+             "stay bit-identical to a serial run",
+    )
+    run.add_argument(
         "--cache", metavar="DIR",
         help="persistent result store; warm entries skip execution entirely",
     )
@@ -86,6 +100,24 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--grid-jobs", dest="grid_jobs", type=int, default=1, metavar="N",
         help="grid pool width the plan would run with",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="serve grid jobs to remote runs (one fleet member)"
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default: 127.0.0.1; use 0.0.0.0 to "
+             "serve a real fleet)",
+    )
+    worker.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="TCP port to listen on (default: 0 = ephemeral; the bound "
+             "port is printed on startup)",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="local worker processes executing jobs (default: 1 = inline)",
     )
 
     findings = subparsers.add_parser("findings", help="check the 28 findings")
@@ -137,7 +169,9 @@ def _print_grids(suite: BenchmarkSuite, targets: list[str]) -> None:
         grid = suite.plan_figure(figure_id)
         print(
             grid.describe(
-                backend=policy.resolved_grid_backend, workers=policy.grid_jobs
+                backend=policy.resolved_grid_backend,
+                workers=policy.grid_jobs,
+                roster=policy.workers,
             )
         )
         print()
@@ -146,8 +180,12 @@ def _print_grids(suite: BenchmarkSuite, targets: list[str]) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.cache_max_mb is not None and not args.cache:
         raise ConfigurationError("--cache-max-mb requires --cache DIR")
+    workers = tuple(
+        part.strip() for part in args.workers.split(",") if part.strip()
+    ) if args.workers else ()
     suite = BenchmarkSuite(
         seed=args.seed, quick=args.quick, jobs=args.jobs, grid_jobs=args.grid_jobs,
+        grid_backend=args.grid_backend, workers=workers,
         cache_dir=args.cache,
         cache_max_bytes=(
             args.cache_max_mb * 1024 * 1024 if args.cache_max_mb is not None else None
@@ -168,6 +206,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             grid_note = f" grid={grid}:{p.get('grid_jobs', 1)}" if grid else ""
             if grid and width is not None:
                 grid_note += f" width={width}"
+            if p.get("workers"):
+                grid_note += f" workers={','.join(p['workers'])}"
             print(
                 f"[provenance] backend={p['backend']}{grid_note} cache={p['cache']} "
                 f"wall={p['wall_time_s']:.3f}s seed={p['seed']}"
@@ -182,6 +222,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     suite = BenchmarkSuite(seed=args.seed, quick=args.quick, grid_jobs=args.grid_jobs)
     _print_grids(suite, [args.figure])
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.core.remote import WorkerServer
+
+    def _graceful_exit(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    # SIGTERM drains too (the CI workflow and process supervisors send
+    # it), and SIGINT is restored in case the worker was started with it
+    # ignored (a nohup'd background step inherits SIGINT=SIG_IGN, which
+    # would otherwise make the graceful-drain path unreachable).
+    signal.signal(signal.SIGTERM, _graceful_exit)
+    signal.signal(signal.SIGINT, _graceful_exit)
+    server = WorkerServer(host=args.host, port=args.port, workers=args.workers)
+    server.start()
+    # Parsable by scripts (and the CI workflow): the bound address on one
+    # line, flushed before the serve loop blocks.
+    print(
+        f"repro-bench worker listening on {server.address_string} "
+        f"({args.workers} local worker(s))",
+        flush=True,
+    )
+    server.serve_forever()
+    print("repro-bench worker drained, exiting")
     return 0
 
 
@@ -241,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "plan":
             return _cmd_plan(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "findings":
             return _cmd_findings(args)
         if args.command == "hap":

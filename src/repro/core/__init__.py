@@ -9,6 +9,7 @@
 * :mod:`repro.core.report`     — ASCII rendering of tables and figures
 * :mod:`repro.core.findings`   — automated checks of the paper's findings
 * :mod:`repro.core.scheduler`  — parallel experiment scheduler + backends
+* :mod:`repro.core.remote`     — remote grid backend (worker fleet over TCP)
 * :mod:`repro.core.store`      — persistent content-addressed result store
 * :mod:`repro.core.suite`      — the user-facing BenchmarkSuite facade
 """
@@ -32,6 +33,14 @@ from repro.core.plan import (
     GridOutcome,
     LoweredGrid,
     MeasurementSpec,
+)
+from repro.core.remote import (
+    RemoteDispatchError,
+    RemoteError,
+    RemoteJobError,
+    RemoteMapper,
+    RemoteProtocolError,
+    WorkerServer,
 )
 from repro.core.scheduler import (
     ExecutionPolicy,
@@ -80,6 +89,12 @@ __all__ = [
     "MeasurementSpec",
     "LoweredGrid",
     "GridOutcome",
+    "WorkerServer",
+    "RemoteMapper",
+    "RemoteError",
+    "RemoteProtocolError",
+    "RemoteDispatchError",
+    "RemoteJobError",
     "ExecutionPolicy",
     "ExperimentScheduler",
     "JobRecord",

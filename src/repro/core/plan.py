@@ -157,7 +157,8 @@ class LoweredGrid:
         :func:`~repro.core.runner.execution_context` is used (serial when
         none is installed). ``Executor.map``-style mappers preserve input
         order, and every cell's stream was pre-derived during lowering, so
-        results are bit-identical across serial/thread/process backends.
+        results are bit-identical across the serial/thread/process/remote
+        backends.
         """
         dispatch = mapper or active_grid_mapper() or _serial_map
         raw = list(dispatch(run_rep_job, [cell.job for cell in self.cells])) \
@@ -169,12 +170,24 @@ class LoweredGrid:
             platforms[(cell.spec_key, cell.platform)] = cell.job.platform
         return GridOutcome(self, results, platforms)
 
-    def describe(self, *, backend: str = "serial", workers: int = 1) -> str:
-        """Human-readable grid summary for ``plan`` / ``--dry-run``."""
-        lines = [
-            f"{self.figure_id}: {self.width} grid job(s) "
-            f"[backend={backend}, grid-jobs={workers}]"
-        ]
+    def describe(
+        self,
+        *,
+        backend: str = "serial",
+        workers: int = 1,
+        roster: Sequence[str] = (),
+    ) -> str:
+        """Human-readable grid summary for ``plan`` / ``--dry-run``.
+
+        ``workers`` is the local pool width; for the remote backend the
+        fleet ``roster`` defines the parallelism instead, so it replaces
+        the meaningless grid-jobs count in the header.
+        """
+        if roster:
+            policy_note = f"backend={backend}, workers={', '.join(roster)}"
+        else:
+            policy_note = f"backend={backend}, grid-jobs={workers}"
+        lines = [f"{self.figure_id}: {self.width} grid job(s) [{policy_note}]"]
         for spec in self.specs:
             included = self.included_platforms(spec)
             suffix = f" tag={spec.tag}" if spec.tag else ""

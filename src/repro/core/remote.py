@@ -1,0 +1,693 @@
+"""Remote grid backend: ship lowered grid cells to a worker fleet.
+
+The plan layer (:mod:`repro.core.plan`) lowers every figure to a flat
+grid of picklable, self-contained :class:`~repro.core.runner.RepJob`s, so
+dispatching a figure across machines needs nothing but a transport: this
+module is that transport. It follows the client-stub / device-server
+split of CERN's RDA middleware — a :class:`WorkerServer` is the device
+server (it executes jobs, ``workers`` local worker processes each), a
+:class:`RemoteMapper` is the client stub (it registers as the fourth
+entry in :data:`~repro.core.runner.GRID_BACKENDS` and fans one grid over
+every connected worker). Where the cells execute is deployment-time
+policy (``--grid-backend remote --workers host:port,...``), never a code
+change — the RAFDA position.
+
+Wire protocol — length-prefixed pickle frames over TCP:
+
+* every frame is a 4-byte big-endian length followed by a pickle payload;
+* the client opens with ``("hello", {"protocol": 1})`` and the server
+  answers ``("hello", {"slots": N})`` — ``N`` is the worker's local
+  process count, which the client uses as its pipelining window;
+* work flows as ``("job", seq, fn, item)`` (``fn`` picklable by
+  reference — :func:`~repro.core.runner.run_rep_job` for grid cells) and
+  comes back as ``("result", seq, value)`` or ``("error", seq,
+  message)``, *in completion order* — the client reassembles by ``seq``,
+  so the mapper stays order-preserving;
+* a client closes its socket to finish; the server drains that
+  connection's in-flight jobs first (graceful shutdown, both ways).
+
+Determinism is untouched by all of this: every cell's RNG stream was
+pre-derived during lowering, so remote results are bit-identical to
+serial ones no matter which worker runs which cell, in which order, or
+how often a cell is retried after a worker disconnect (re-running a cell
+re-runs the same pure function of the same stream).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteError",
+    "RemoteProtocolError",
+    "RemoteDispatchError",
+    "RemoteJobError",
+    "send_frame",
+    "recv_frame",
+    "parse_worker_address",
+    "WorkerServer",
+    "RemoteMapper",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Frames above this size indicate a corrupt length prefix, not a figure.
+_MAX_FRAME_BYTES = 1 << 30
+
+_LENGTH = struct.Struct(">I")
+
+
+class RemoteError(ReproError):
+    """Base class for remote grid backend failures."""
+
+
+class RemoteProtocolError(RemoteError):
+    """A peer violated the framed-pickle protocol (or hung up mid-frame)."""
+
+
+class RemoteDispatchError(RemoteError):
+    """No worker could be reached (or all of them died mid-grid)."""
+
+
+class RemoteJobError(RemoteError):
+    """A job raised inside a worker; carries the worker-side message.
+
+    Not retried: jobs are pure functions of their pre-derived streams, so
+    a failure is deterministic — re-running it elsewhere fails the same
+    way.
+    """
+
+
+# --- framing ---------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: Any) -> None:
+    """Pickle ``message`` and send it as one length-prefixed frame."""
+    payload = pickle.dumps(message)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise RemoteProtocolError(
+                f"connection closed mid-frame ({size - remaining}/{size} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one frame and unpickle it.
+
+    Raises :class:`EOFError` on a clean close at a frame boundary and
+    :class:`RemoteProtocolError` on a mid-frame close or a corrupt
+    length prefix.
+    """
+    header = b""
+    while len(header) < _LENGTH.size:
+        chunk = sock.recv(_LENGTH.size - len(header))
+        if not chunk:
+            if header:
+                raise RemoteProtocolError("connection closed mid-length-prefix")
+            raise EOFError("connection closed")
+        header += chunk
+    (size,) = _LENGTH.unpack(header)
+    if size > _MAX_FRAME_BYTES:
+        raise RemoteProtocolError(f"frame length {size} exceeds {_MAX_FRAME_BYTES}")
+    return pickle.loads(_recv_exact(sock, size))
+
+
+def parse_worker_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or an already-split pair) -> ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not host:
+        raise RemoteDispatchError(
+            f"worker address {address!r} is not of the form host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise RemoteDispatchError(
+            f"worker address {address!r} has a non-numeric port"
+        ) from None
+    return host, port
+
+
+# --- server ----------------------------------------------------------------------
+
+
+def _run_call(payload: tuple[Callable[[Any], Any], Any]) -> Any:
+    """Local-pool entry point: apply the shipped callable to its item."""
+    fn, item = payload
+    return fn(item)
+
+
+class WorkerServer:
+    """One fleet member: executes shipped jobs on local worker processes.
+
+    Listens on ``host:port`` (``port=0`` binds an ephemeral port — see
+    :attr:`address`), accepts any number of client connections, and runs
+    each connection's jobs on a pool of ``workers`` local processes
+    shared across connections (``workers=1`` executes inline in the
+    connection's handler thread — no fork, the CI loopback default).
+    Results are sent back as they complete, tagged with the client's
+    sequence number, so a multi-process worker naturally completes out of
+    order and the client reassembles.
+
+    ``start()`` returns once the socket is listening; ``stop()`` drains
+    in-flight jobs, closes every connection, and releases the pool.
+    ``serve_forever()`` is the CLI loop (start, block, stop on
+    interrupt). Also usable as a context manager — the in-process
+    loopback fixture the tests and CI are built on::
+
+        with WorkerServer(port=0, workers=2) as server:
+            mapper = RemoteMapper([server.address_string])
+            ...
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, workers: int = 1
+    ) -> None:
+        if workers < 1:
+            raise RemoteDispatchError(f"workers must be >= 1, got {workers}")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self._listener: socket.socket | None = None
+        self._executor: ProcessPoolExecutor | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._connections: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # --- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real port."""
+        if self._listener is None:
+            raise RemoteDispatchError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def address_string(self) -> str:
+        """The bound address as the CLI's ``host:port`` spelling."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "WorkerServer":
+        """Bind, pre-fork the local pool, and begin accepting clients."""
+        if self._listener is not None:
+            raise RemoteDispatchError("server already started")
+        if self.workers > 1:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            # Fork the pool's processes now, from the starting thread —
+            # ProcessPoolExecutor forks lazily on first submit, which
+            # would otherwise happen inside a connection handler thread.
+            self._executor.submit(_noop).result()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-worker-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: finish in-flight jobs, then tear everything down."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        # shutdown() before close(): close() alone does not wake a thread
+        # blocked in accept(2), which would leave the listening socket
+        # half-alive (still accepting!) until that thread moved.
+        _quietly_close(listener)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            # Waking blocked recv() calls lets handlers notice the stop;
+            # each handler drains its own in-flight jobs before exiting.
+            _quietly_close(conn)
+        for handler in list(self._handlers):
+            handler.join(timeout=10)
+        self._handlers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._stopping.clear()
+
+    def serve_forever(self) -> None:
+        """The CLI loop: block until interrupted, then drain and stop."""
+        if self._listener is None:
+            self.start()
+        try:
+            # Also poll the listener: a concurrent stop() may have cleared
+            # the stopping flag again before this thread observed it.
+            while self._listener is not None and not self._stopping.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "WorkerServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # --- connection handling ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            with self._lock:
+                self._connections.append(conn)
+                handler = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-worker-conn",
+                    daemon=True,
+                )
+                self._handlers.append(handler)
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        send_lock = threading.Lock()
+        in_flight: set[Future] = set()
+        try:
+            hello = recv_frame(conn)
+            if (
+                not isinstance(hello, tuple)
+                or len(hello) != 2
+                or hello[0] != "hello"
+                or not isinstance(hello[1], dict)
+                or hello[1].get("protocol") != PROTOCOL_VERSION
+            ):
+                send_frame(conn, ("error", None, "protocol mismatch"))
+                return
+            send_frame(conn, ("hello", {"slots": self.workers}))
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except (EOFError, RemoteProtocolError, OSError):
+                    break  # client hung up (or stop() closed us)
+                if not (isinstance(message, tuple) and message[0] == "job"):
+                    send_frame(conn, ("error", None, f"unexpected frame {message!r}"))
+                    break
+                _kind, seq, fn, item = message
+                self._dispatch(conn, send_lock, in_flight, seq, fn, item)
+        except (RemoteProtocolError, OSError, EOFError):
+            pass  # torn connection: the client's retry logic owns recovery
+        finally:
+            # Graceful drain: finish (and deliver, best-effort) every job
+            # this connection already accepted before closing it.
+            for future in list(in_flight):
+                try:
+                    future.result()
+                except Exception:
+                    pass
+            _quietly_close(conn)
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+                # Self-prune: a long-lived worker accepts unboundedly many
+                # connections; finished handler threads must not pile up
+                # until stop().
+                self._handlers[:] = [t for t in self._handlers if t.is_alive()]
+
+    def _dispatch(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        in_flight: set[Future],
+        seq: int,
+        fn: Callable[[Any], Any],
+        item: Any,
+    ) -> None:
+        def deliver(reply: tuple) -> None:
+            try:
+                with send_lock:
+                    send_frame(conn, reply)
+            except OSError:
+                pass  # client gone; it will re-queue the job elsewhere
+
+        if self._executor is None:
+            deliver(_execute_reply(seq, fn, item))
+            return
+        future = self._executor.submit(_run_call, (fn, item))
+        in_flight.add(future)
+
+        def on_done(done: Future) -> None:
+            in_flight.discard(done)
+            try:
+                deliver(("result", seq, done.result()))
+            except Exception as exc:
+                deliver(("error", seq, f"{type(exc).__name__}: {exc}"))
+
+        future.add_done_callback(on_done)
+
+
+def _execute_reply(seq: int, fn: Callable[[Any], Any], item: Any) -> tuple:
+    try:
+        return ("result", seq, fn(item))
+    except Exception as exc:
+        return ("error", seq, f"{type(exc).__name__}: {exc}")
+
+
+def _noop() -> None:
+    """Pool warm-up payload (forks the workers at start() time)."""
+
+
+def _quietly_close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+# --- client ----------------------------------------------------------------------
+
+
+class _WorkerConnection:
+    """One live connection to a fleet member, with its pipelining window."""
+
+    def __init__(self, address: tuple[str, int], timeout: float) -> None:
+        self.address = address
+        self.sock = socket.create_connection(address, timeout=timeout)
+        try:
+            # Handshake under the connect timeout, then block freely: job
+            # durations are workload-dependent and unbounded.
+            send_frame(self.sock, ("hello", {"protocol": PROTOCOL_VERSION}))
+            reply = recv_frame(self.sock)
+            if not (isinstance(reply, tuple) and reply[0] == "hello"):
+                raise RemoteProtocolError(f"bad handshake reply from {address}: {reply!r}")
+            self.slots = max(1, int(reply[1].get("slots", 1)))
+            self.sock.settimeout(None)
+        except BaseException:
+            _quietly_close(self.sock)
+            raise
+
+    def close(self) -> None:
+        _quietly_close(self.sock)
+
+
+class RemoteMapper:
+    """Order-preserving grid mapper that fans items over a worker fleet.
+
+    Registers as the ``"remote"`` entry in
+    :data:`~repro.core.runner.GRID_BACKENDS` (via
+    :func:`~repro.core.runner.grid_mapper`). One mapper serves one
+    client: connections are opened lazily on the first dispatch — so a
+    policy can prescribe the remote backend and a warm
+    :class:`~repro.core.store.ResultStore` still short-circuits the run
+    without a single socket — and reused across dispatches until
+    :meth:`close`.
+
+    Dispatch runs one client thread per connected worker, each keeping up
+    to the worker's advertised ``slots`` jobs in flight. Results carry
+    their submission sequence number and land at that index, so the map
+    is order-preserving regardless of which worker finishes what first.
+
+    Failure policy: the whole roster must be reachable at first dispatch
+    (a member that is down before the run even starts is a
+    misconfiguration, and tolerating it would falsify the recorded
+    roster); after that, a worker that disconnects mid-grid has its
+    in-flight jobs re-queued to the surviving workers (at most
+    ``retries`` times per job — jobs are deterministic, so re-execution
+    cannot change results, only recover them); a job that *raises*
+    inside a worker is a real workload failure and surfaces as
+    :class:`RemoteJobError`; losing every worker raises
+    :class:`RemoteDispatchError`.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str | tuple[str, int]],
+        *,
+        retries: int = 3,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if not workers:
+            raise RemoteDispatchError("remote mapper needs at least one worker address")
+        self.addresses = [parse_worker_address(worker) for worker in workers]
+        self.retries = retries
+        self.connect_timeout = connect_timeout
+        self._connections: list[_WorkerConnection] = []
+
+    @property
+    def roster(self) -> tuple[str, ...]:
+        """The fleet as ``host:port`` strings (provenance spelling)."""
+        return tuple(f"{host}:{port}" for host, port in self.addresses)
+
+    # --- lifecycle -------------------------------------------------------------
+
+    def _connect_all(self) -> list[_WorkerConnection]:
+        if self._connections:
+            return self._connections
+        connections: list[_WorkerConnection] = []
+        failures: list[str] = []
+        for address in self.addresses:
+            try:
+                connections.append(_WorkerConnection(address, self.connect_timeout))
+            except (OSError, RemoteError) as exc:
+                failures.append(f"{address[0]}:{address[1]}: {exc}")
+        if failures:
+            # Strict roster: a member that is down *before* dispatch is a
+            # misconfiguration (typo'd port, worker not started), not a
+            # transient loss — running quietly on a partial fleet would
+            # also falsify the roster recorded in provenance. Mid-grid
+            # disconnects are the tolerated (re-queued) failure mode.
+            for connection in connections:
+                connection.close()
+            raise RemoteDispatchError(
+                "could not reach the whole worker fleet: " + "; ".join(failures)
+            )
+        self._connections = connections
+        return self._connections
+
+    def close(self) -> None:
+        """Drop every connection (idempotent; the mapper may be reused)."""
+        for connection in self._connections:
+            connection.close()
+        self._connections = []
+
+    def __enter__(self) -> "RemoteMapper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # --- dispatch --------------------------------------------------------------
+
+    def __call__(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        state = _DispatchState(fn, items, self.retries)
+        connections = self._connect_all()
+        threads = [
+            threading.Thread(
+                target=self._drive_worker,
+                args=(connection, state),
+                name=f"repro-remote-{connection.address[1]}",
+                daemon=True,
+            )
+            for connection in connections
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Dead connections were discarded by their driver threads; keep
+        # the survivors for the next dispatch.
+        self._connections = [c for c in connections if c not in state.dead]
+        return state.finish()
+
+    def _drive_worker(self, connection: _WorkerConnection, state: "_DispatchState") -> None:
+        in_flight: set[int] = set()
+        try:
+            while True:
+                while len(in_flight) < connection.slots:
+                    seq = state.claim()
+                    if seq is None:
+                        break
+                    # In-flight BEFORE the send: if sendall raises (the
+                    # worker died, or the payload failed to pickle), the
+                    # except path below must re-queue this seq too — a
+                    # claimed-but-untracked job would be lost and the
+                    # surviving drivers would park forever waiting for it.
+                    in_flight.add(seq)
+                    send_frame(connection.sock, ("job", seq, state.fn, state.items[seq]))
+                if in_flight:
+                    kind, seq, payload = recv_frame(connection.sock)
+                    in_flight.discard(seq)
+                    if kind == "result":
+                        state.complete(seq, payload)
+                    elif kind == "error":
+                        state.fail(RemoteJobError(
+                            f"job {seq} failed on {connection.address[0]}:"
+                            f"{connection.address[1]}: {payload}"))
+                        # The socket may still carry replies for this
+                        # driver's other in-flight jobs; a reused mapper
+                        # must never read those stale frames as results
+                        # of a *later* dispatch — drop the connection.
+                        connection.close()
+                        state.dead.add(connection)
+                        return
+                    else:
+                        raise RemoteProtocolError(f"unexpected reply frame {kind!r}")
+                    continue
+                if state.settled():
+                    return
+                # Idle but the grid is not settled: other workers hold
+                # in-flight jobs that may yet be re-queued our way if
+                # their worker disconnects. Wait instead of exiting, or
+                # those jobs would have no surviving driver to run them.
+                state.wait_for_work()
+        except Exception as exc:
+            # This worker is gone (socket error, protocol violation, or a
+            # send-side pickling failure): hand its in-flight jobs back
+            # for the survivors and report the loss — fatal only if it
+            # was the last worker or a job ran out of retry budget. A
+            # bare `return` above never lands here, so a job-level error
+            # (RemoteJobError) still fails the dispatch instead of
+            # retrying deterministically-failing work.
+            connection.close()
+            state.dead.add(connection)
+            state.requeue(in_flight, connection, exc)
+
+
+class _UnsetType:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _UnsetType()
+
+
+class _DispatchState:
+    """Shared bookkeeping for one RemoteMapper dispatch.
+
+    All transitions happen under one condition variable so idle driver
+    threads can sleep until a completion, a re-queue, or a failure makes
+    progress (or ends the dispatch).
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], items: list[Any], retries: int) -> None:
+        self.fn = fn
+        self.items = items
+        self.retries = retries
+        self.results: list[Any] = [_UNSET] * len(items)
+        self.pending: deque[int] = deque(range(len(items)))
+        self.attempts = [0] * len(items)
+        self.dead: set[_WorkerConnection] = set()
+        self.error: RemoteError | None = None
+        self.completed = 0
+        self._cv = threading.Condition()
+
+    def claim(self) -> int | None:
+        """Take the next unassigned job index (None when drained/failed)."""
+        with self._cv:
+            if self.error is not None:
+                return None
+            while self.pending:
+                seq = self.pending.popleft()
+                if self.results[seq] is _UNSET:
+                    self.attempts[seq] += 1
+                    return seq
+            return None
+
+    def complete(self, seq: int, value: Any) -> None:
+        with self._cv:
+            if self.results[seq] is _UNSET:
+                self.results[seq] = value
+                self.completed += 1
+            self._cv.notify_all()
+
+    def fail(self, error: RemoteError) -> None:
+        with self._cv:
+            if self.error is None:
+                self.error = error
+            self._cv.notify_all()
+
+    def requeue(
+        self, in_flight: set[int], connection: _WorkerConnection, cause: Exception
+    ) -> None:
+        with self._cv:
+            for seq in sorted(in_flight, reverse=True):
+                if self.attempts[seq] > self.retries:
+                    if self.error is None:
+                        self.error = RemoteDispatchError(
+                            f"job {seq} exhausted {self.retries} retries "
+                            f"(last worker {connection.address[0]}:"
+                            f"{connection.address[1]} failed: {cause})"
+                        )
+                    break
+                self.pending.appendleft(seq)
+            self._cv.notify_all()
+
+    def settled(self) -> bool:
+        """True once every job completed — or the dispatch failed."""
+        with self._cv:
+            return self.error is not None or self.completed == len(self.items)
+
+    def wait_for_work(self) -> None:
+        """Park an idle driver until there is work, or the dispatch settles."""
+        with self._cv:
+            while (
+                self.error is None
+                and self.completed < len(self.items)
+                and not self.pending
+            ):
+                # The timeout is defensive only (a missed-notify backstop);
+                # every state transition notifies the condition.
+                self._cv.wait(timeout=1.0)
+
+    def finish(self) -> list[Any]:
+        """Validate and return the reassembled, submission-ordered results."""
+        if self.error is not None:
+            raise self.error
+        missing = [seq for seq, value in enumerate(self.results) if value is _UNSET]
+        if missing:
+            raise RemoteDispatchError(
+                f"{len(missing)} job(s) unassigned after every worker disconnected "
+                f"(first missing: {missing[0]})"
+            )
+        return self.results

@@ -8,9 +8,10 @@ through this, so seed management is uniform and results are reproducible.
 Execution is separated from definition: every repetition's stream is
 derived *up-front* from the seed tree, so the repetitions are mutually
 independent and may be dispatched through any order-preserving ``mapper``
-(the built-in serial map by default; thread and process pool mappers via
-:func:`rep_mapper`). Results are bit-identical regardless of the mapper
-because no repetition's draws depend on another's.
+(the built-in serial map by default; thread/process pool mappers — and
+the :mod:`repro.core.remote` fleet mapper — via :func:`grid_mapper`).
+Results are bit-identical regardless of the mapper because no
+repetition's draws depend on another's.
 
 Dispatch goes through the picklable module-level :class:`RepJob` /
 :func:`run_rep_job` pair rather than a closure, so process-pool mappers
@@ -58,7 +59,7 @@ __all__ = [
 Mapper = Callable[[Callable[[Any], Any], Iterable[Any]], Iterable[Any]]
 
 #: Valid grid-level backends (``ExecutionPolicy.grid_backend``).
-GRID_BACKENDS = ("serial", "thread", "process")
+GRID_BACKENDS = ("serial", "thread", "process", "remote")
 
 #: Back-compat alias from the repetition-parallelism era (PR 2).
 REP_BACKENDS = GRID_BACKENDS
@@ -133,13 +134,21 @@ class PoolMapper:
         self.close()
 
 
-def grid_mapper(backend: str, jobs: int) -> Mapper:
+def grid_mapper(
+    backend: str,
+    jobs: int,
+    workers: Iterable[str] | None = None,
+) -> Mapper:
     """An order-preserving mapper for the given grid backend and width.
 
     ``serial`` maps in-process; ``thread``/``process`` return a
     :class:`PoolMapper` that fans items over a ``concurrent.futures`` pool
-    (``Executor.map`` preserves input order). A width of one collapses
-    every backend to the serial map.
+    (``Executor.map`` preserves input order); ``remote`` returns a
+    :class:`~repro.core.remote.RemoteMapper` that fans items over the
+    ``workers`` fleet (``host:port`` addresses) with sequence-numbered
+    reassembly. A width of one collapses the local pool backends to the
+    serial map; the remote backend's parallelism is the fleet's, so
+    ``jobs`` does not apply to it.
     """
     if backend not in GRID_BACKENDS:
         raise ConfigurationError(
@@ -147,6 +156,17 @@ def grid_mapper(backend: str, jobs: int) -> Mapper:
         )
     if jobs < 1:
         raise ConfigurationError(f"grid jobs must be >= 1, got {jobs}")
+    if backend == "remote":
+        # Imported here: remote is a leaf backend built on this module's
+        # mapper seam, not a dependency of every runner user.
+        from repro.core.remote import RemoteMapper
+
+        if not workers:
+            raise ConfigurationError(
+                "grid backend 'remote' needs at least one worker address "
+                "(host:port) — start one with: repro-bench worker --port P"
+            )
+        return RemoteMapper(list(workers))
     if backend == "serial" or jobs == 1:
         return _serial_map
     return PoolMapper(backend, jobs)

@@ -40,7 +40,6 @@ from repro.core.results import FigureResult
 from repro.core.runner import (
     GRID_BACKENDS,
     Mapper,
-    PoolMapper,
     Runner,
     execution_context,
     grid_mapper,
@@ -61,6 +60,7 @@ __all__ = [
 BACKEND_SERIAL = "serial"
 BACKEND_THREAD = "thread"
 BACKEND_PROCESS = "process"
+BACKEND_REMOTE = "remote"
 
 
 def quick_overrides(figure_id: str) -> dict[str, Any]:
@@ -86,18 +86,27 @@ class ExecutionPolicy:
     ``jobs=4, grid_jobs=2`` runs four figures at once, each with a
     two-worker grid pool.
 
+    The grid level is also where a run leaves the machine: the
+    ``remote`` grid backend fans the lowered grid over a worker fleet
+    (``workers=("host:port", ...)``, each started with ``repro-bench
+    worker``). Distribution is pure deployment policy — naming a fleet
+    is the only difference between a local and a remote run, and the
+    results are bit-identical either way.
+
     ``backend=None`` / ``grid_backend=None`` auto-select: serial for one
     slot, a pool otherwise (process in both cases — workloads are
     pure-Python simulation, so only processes buy true parallelism; the
     ``thread`` grid backend is available for callers who want pool
-    semantics without fork/pickle overhead). Serial stays the default
-    everywhere; callers opt in via ``--jobs N`` / ``--grid-jobs N``.
+    semantics without fork/pickle overhead), and ``remote`` whenever a
+    worker roster is given. Serial stays the default everywhere; callers
+    opt in via ``--jobs N`` / ``--grid-jobs N`` / ``--workers ...``.
     """
 
     jobs: int = 1
     backend: str | None = None
     grid_jobs: int = 1
     grid_backend: str | None = None
+    workers: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -110,6 +119,25 @@ class ExecutionPolicy:
             raise ConfigurationError(
                 f"unknown grid backend {self.grid_backend!r}; "
                 f"known: {', '.join(GRID_BACKENDS)}"
+            )
+        object.__setattr__(self, "workers", tuple(self.workers))
+        if self.grid_backend == BACKEND_REMOTE and not self.workers:
+            raise ConfigurationError(
+                "grid_backend='remote' needs a worker roster "
+                "(workers=('host:port', ...))"
+            )
+        if self.workers and self.grid_backend not in (None, BACKEND_REMOTE):
+            raise ConfigurationError(
+                f"a worker roster only applies to the 'remote' grid backend, "
+                f"not {self.grid_backend!r}"
+            )
+        if self.workers and self.grid_jobs != 1:
+            # Rejected rather than silently ignored: remote parallelism
+            # comes from each worker's advertised slot count, so accepting
+            # grid_jobs here would record a width that never took effect.
+            raise ConfigurationError(
+                "grid_jobs does not apply to the remote grid backend; "
+                "set --workers N on each repro-bench worker instead"
             )
 
     @property
@@ -124,11 +152,15 @@ class ExecutionPolicy:
         """The concrete grid-level backend this policy selects."""
         if self.grid_backend is not None:
             return self.grid_backend
+        if self.workers:
+            return BACKEND_REMOTE
         return BACKEND_PROCESS if self.grid_jobs > 1 else BACKEND_SERIAL
 
     def mapper(self) -> Mapper:
         """The order-preserving grid mapper this policy prescribes."""
-        return grid_mapper(self.resolved_grid_backend, self.grid_jobs)
+        return grid_mapper(
+            self.resolved_grid_backend, self.grid_jobs, workers=self.workers or None
+        )
 
     @classmethod
     def serial(cls) -> "ExecutionPolicy":
@@ -154,6 +186,7 @@ class ExperimentJob:
     job_seed: int
     grid_backend: str = BACKEND_SERIAL
     grid_jobs: int = 1
+    workers: tuple[str, ...] = ()
 
     @classmethod
     def build(
@@ -164,6 +197,7 @@ class ExperimentJob:
         *,
         grid_backend: str = BACKEND_SERIAL,
         grid_jobs: int = 1,
+        workers: tuple[str, ...] = (),
     ) -> "ExperimentJob":
         """Create a job; its identity seed comes from the shared seed tree."""
         frozen = tuple(sorted(kwargs.items(), key=lambda item: item[0]))
@@ -174,6 +208,7 @@ class ExperimentJob:
             job_seed=Runner.job_seed(seed, figure_id),
             grid_backend=grid_backend,
             grid_jobs=grid_jobs,
+            workers=tuple(workers),
         )
 
     def kwargs_dict(self) -> dict[str, Any]:
@@ -227,12 +262,14 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
     """
     started = time.perf_counter()
     try:
-        mapper = grid_mapper(job.grid_backend, job.grid_jobs)
+        mapper = grid_mapper(job.grid_backend, job.grid_jobs, workers=job.workers or None)
         counting = _CountingMapper(mapper)
         with contextlib.ExitStack() as stack:
-            if isinstance(mapper, PoolMapper):
-                # One shared pool covers the figure's whole grid; release
-                # its workers when the job finishes — or raises.
+            if hasattr(mapper, "__exit__"):
+                # Every resource-holding mapper (local pool, remote fleet
+                # connections) is a context manager; the serial map is a
+                # bare function. One shared pool covers the figure's whole
+                # grid; release it when the job finishes — or raises.
                 stack.enter_context(mapper)
             stack.enter_context(execution_context(counting))
             result = run_figure(job.figure_id, job.seed, **job.kwargs_dict())
@@ -260,6 +297,9 @@ class JobRecord:
     #: Number of (platform, rep) cells the figure dispatched (None for
     #: cache hits and failures).
     grid_width: int | None = None
+    #: Worker roster the grid fanned over (None unless the job ran on
+    #: the remote grid backend).
+    workers: tuple[str, ...] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -274,6 +314,7 @@ class JobRecord:
             "grid_backend": self.grid_backend,
             "grid_jobs": self.grid_jobs,
             "grid_width": self.grid_width,
+            "workers": list(self.workers) if self.workers is not None else None,
         }
 
 
@@ -463,6 +504,7 @@ class ExperimentScheduler:
                         kwargs,
                         grid_backend=self.policy.resolved_grid_backend,
                         grid_jobs=self.policy.grid_jobs,
+                        workers=self.policy.workers,
                     ),
                     key,
                 )
@@ -489,6 +531,7 @@ class ExperimentScheduler:
                 grid_backend=job.grid_backend,
                 grid_jobs=job.grid_jobs,
                 grid_width=grid_width,
+                workers=job.workers or None,
             )
             report.records.append(record)
             if result is None:
@@ -496,7 +539,7 @@ class ExperimentScheduler:
             self._attach_provenance(
                 result, key, backend, False, elapsed, job.job_seed,
                 grid_backend=job.grid_backend, grid_jobs=job.grid_jobs,
-                grid_width=grid_width,
+                grid_width=grid_width, workers=job.workers or None,
             )
             if self.store is not None:
                 self.store.put(key, result)
@@ -539,12 +582,14 @@ class ExperimentScheduler:
         grid_backend: str | None = None,
         grid_jobs: int = 1,
         grid_width: int | None = None,
+        workers: tuple[str, ...] | None = None,
     ) -> None:
         result.metadata["provenance"] = {
             "backend": backend,
             "grid_backend": grid_backend,
             "grid_jobs": grid_jobs,
             "grid_width": grid_width,
+            "workers": list(workers) if workers is not None else None,
             "cache": "hit" if cache_hit else "miss",
             "wall_time_s": round(wall_time_s, 6),
             "seed": self.seed,

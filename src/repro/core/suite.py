@@ -53,6 +53,8 @@ class BenchmarkSuite:
         quick: bool = False,
         jobs: int = 1,
         grid_jobs: int = 1,
+        grid_backend: str | None = None,
+        workers: tuple[str, ...] | list[str] = (),
         policy: ExecutionPolicy | None = None,
         cache_dir: str | pathlib.Path | None = None,
         cache_max_bytes: int | None = None,
@@ -61,7 +63,12 @@ class BenchmarkSuite:
         self.seed = seed
         self.quick = quick
         self.machine = paper_testbed()
-        self.policy = policy or ExecutionPolicy(jobs=jobs, grid_jobs=grid_jobs)
+        self.policy = policy or ExecutionPolicy(
+            jobs=jobs,
+            grid_jobs=grid_jobs,
+            grid_backend=grid_backend,
+            workers=tuple(workers),
+        )
         self.store = store if store is not None else (
             ResultStore(cache_dir, max_bytes=cache_max_bytes)
             if cache_dir is not None else None
@@ -203,6 +210,9 @@ class BenchmarkSuite:
 
     def describe(self) -> str:
         """Suite header: testbed, scope, and execution policy."""
+        workers = (
+            f"workers={','.join(self.policy.workers)} " if self.policy.workers else ""
+        )
         return (
             f"Isolation-platform benchmark suite (seed={self.seed})\n"
             f"Simulated testbed: {self.machine.describe()}\n"
@@ -210,6 +220,7 @@ class BenchmarkSuite:
             f"jobs={self.policy.jobs} "
             f"grid_backend={self.policy.resolved_grid_backend} "
             f"grid_jobs={self.policy.grid_jobs} "
+            f"{workers}"
             f"store={self.store.root if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
         )
@@ -246,6 +257,7 @@ class BenchmarkSuite:
                     "jobs": self.policy.jobs,
                     "grid_backend": self.policy.resolved_grid_backend,
                     "grid_jobs": self.policy.grid_jobs,
+                    "workers": list(self.policy.workers),
                     "machine": self.machine.describe(),
                     "figures": [p.name for p in written],
                     "provenance": provenance,

@@ -76,8 +76,17 @@ class NamespaceSet:
         return cls(frozenset(NamespaceKind))
 
     def creation_cost(self) -> float:
-        """Seconds to create all namespaces in the set."""
-        return sum(_CREATION_COST_S[kind] for kind in self.kinds)
+        """Seconds to create all namespaces in the set.
+
+        Summed in the catalog's declaration order: float addition is not
+        associative, and frozenset iteration order is not stable across a
+        pickle round-trip under hash randomization — an unordered sum
+        made process/remote grid results differ from serial ones in the
+        last ulp.
+        """
+        return sum(
+            cost for kind, cost in _CREATION_COST_S.items() if kind in self.kinds
+        )
 
     def isolation_layers(self) -> int:
         """Number of independent visibility barriers (defense-in-depth input)."""

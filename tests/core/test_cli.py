@@ -29,6 +29,20 @@ class TestParser:
         args = build_parser().parse_args(["--seed", "7", "list"])
         assert args.seed == 7
 
+    def test_worker_subcommand_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0  # ephemeral: the bound port is printed
+        assert args.workers == 1
+
+    def test_run_remote_flags(self):
+        args = build_parser().parse_args([
+            "run", "fig05", "--grid-backend", "remote",
+            "--workers", "10.0.0.1:7077,10.0.0.2:7077",
+        ])
+        assert args.grid_backend == "remote"
+        assert args.workers == "10.0.0.1:7077,10.0.0.2:7077"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -104,6 +118,44 @@ class TestCommands:
         assert "iperf3" in out
         assert "grid=process:2" in out
         assert "width=30" in out  # 10 network platforms x 3 quick reps
+
+    def test_unknown_grid_backend_is_a_clean_error_listing_remote(self, capsys):
+        # Regression: an unknown backend must surface as ConfigurationError
+        # (one line, exit 2) — never a bare ValueError traceback — and the
+        # advertised backend list must include the remote backend.
+        assert main(["run", "fig11", "--quick", "--grid-backend", "gpu"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-bench: error:" in err
+        assert "unknown grid backend 'gpu'" in err
+        assert "remote" in err
+        assert "Traceback" not in err
+        assert "ValueError" not in err
+
+    def test_remote_backend_without_workers_is_a_clean_error(self, capsys):
+        assert main(["run", "fig11", "--quick", "--grid-backend", "remote"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-bench: error:" in err
+        assert "worker" in err
+
+    def test_workers_with_local_backend_is_a_clean_error(self, capsys):
+        assert main([
+            "run", "fig11", "--quick", "--grid-backend", "serial",
+            "--workers", "127.0.0.1:7077",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro-bench: error:" in err
+        assert "remote" in err
+
+    def test_grid_jobs_with_workers_is_a_clean_error(self, capsys):
+        # Remote parallelism is the fleet's slot count; --grid-jobs with a
+        # roster is rejected rather than silently ignored.
+        assert main([
+            "run", "fig11", "--quick", "--grid-jobs", "4",
+            "--workers", "127.0.0.1:7077",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro-bench: error:" in err
+        assert "grid_jobs does not apply" in err
 
     def test_rep_jobs_is_a_deprecated_alias(self, capsys):
         assert main(["run", "fig11", "--quick", "--rep-jobs", "2", "--provenance"]) == 0

@@ -216,7 +216,11 @@ class TestPolicyGridDimension:
         assert policy.resolved_grid_backend == BACKEND_SERIAL
 
     def test_grid_backends_constant_matches_scheduler_names(self):
-        assert set(GRID_BACKENDS) == {BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS}
+        from repro.core.scheduler import BACKEND_REMOTE
+
+        assert set(GRID_BACKENDS) == {
+            BACKEND_SERIAL, BACKEND_THREAD, BACKEND_PROCESS, BACKEND_REMOTE
+        }
 
     def test_jobs_carry_the_grid_policy(self):
         job = ExperimentJob.build(
@@ -238,8 +242,8 @@ class TestMapperLifetime:
         created = []
         real_grid_mapper = scheduler_module.grid_mapper
 
-        def tracking_grid_mapper(backend, jobs):
-            mapper = real_grid_mapper(backend, jobs)
+        def tracking_grid_mapper(backend, jobs, workers=None):
+            mapper = real_grid_mapper(backend, jobs, workers=workers)
             if isinstance(mapper, PoolMapper):
                 created.append(mapper)
             return mapper
@@ -265,24 +269,31 @@ class TestMapperLifetime:
 
 
 class TestGridLevelDeterminism:
-    """Serial vs thread vs process grid backends are bit-identical."""
+    """Every grid backend (including remote-loopback) is bit-identical.
+
+    Parametrized over the shared ``grid_backend`` fixture rather than
+    per-backend test copies.
+    """
 
     @pytest.fixture(scope="class")
     def serial_report(self):
         return ExperimentScheduler(42, quick=True).run(SUBSET)
 
-    @pytest.mark.parametrize("backend", [BACKEND_THREAD, BACKEND_PROCESS])
-    def test_grid_backends_bit_identical_to_serial(self, serial_report, backend):
-        policy = ExecutionPolicy(grid_jobs=2, grid_backend=backend)
-        report = ExperimentScheduler(42, quick=True, policy=policy).run(SUBSET)
+    def test_grid_backends_bit_identical_to_serial(self, serial_report, grid_backend):
+        report = ExperimentScheduler(
+            42, quick=True, policy=grid_backend.policy()
+        ).run(SUBSET)
         for figure_id in SUBSET:
             assert (
                 report.results[figure_id].comparable_dict()
                 == serial_report.results[figure_id].comparable_dict()
             ), figure_id
 
-    def test_figure_pool_composes_with_grid_pool(self, serial_report):
-        policy = ExecutionPolicy(jobs=2, grid_jobs=2, grid_backend=BACKEND_THREAD)
+    def test_figure_pool_composes_with_grid_pool(self, serial_report, grid_backend):
+        # Figure-level process pool workers install the grid mapper in
+        # their own process — including a remote mapper, which then dials
+        # the fleet from inside the pool worker.
+        policy = grid_backend.policy(jobs=2)
         report = ExperimentScheduler(42, quick=True, policy=policy).run(SUBSET)
         for figure_id in SUBSET:
             assert (
@@ -290,7 +301,7 @@ class TestGridLevelDeterminism:
                 == serial_report.results[figure_id].comparable_dict()
             ), figure_id
         assert {r.backend for r in report.records} == {BACKEND_PROCESS}
-        assert {r.grid_backend for r in report.records} == {BACKEND_THREAD}
+        assert {r.grid_backend for r in report.records} == {grid_backend.name}
 
     def test_grid_backend_recorded_in_provenance(self):
         policy = ExecutionPolicy(grid_jobs=2, grid_backend=BACKEND_THREAD)
