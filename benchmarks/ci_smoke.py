@@ -9,11 +9,18 @@ the pool run's JSON + manifest as the CI artifact. The emitted
 ``BENCH_smoke.json`` records per-backend wall times, seeding the repo's
 performance trajectory.
 
+With ``--store-url`` the smoke also gates the shared fleet store:
+client A warms the named ``repro-bench store`` server, then client B —
+an empty local cache, warm server — must report every figure as
+``hit-remote`` with zero executed jobs and byte-identical result JSON.
+
 Usage::
 
     python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2 --grid-jobs 2
     # with a worker started via `repro-bench worker --port 7077`:
     python benchmarks/ci_smoke.py --remote-workers 127.0.0.1:7077
+    # with a store started via `repro-bench store --port 7078 --dir d`:
+    python benchmarks/ci_smoke.py --store-url 127.0.0.1:7078
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import shutil
 import sys
 import time
 
@@ -64,6 +72,51 @@ def compare(
     ]
 
 
+def run_store_gate(
+    seed: int, figures: list[str], store_url: str, out: pathlib.Path,
+    reference: BenchmarkSuite,
+) -> dict:
+    """The shared fleet store gate: warm server, cold client, zero work.
+
+    Client A (no local tier) computes the figures and publishes them to
+    the store server; client B reads through an empty local cache and
+    must be satisfied entirely by ``hit-remote`` reads — zero executed
+    jobs, byte-identical JSON against the serial reference.
+    """
+    client_a = BenchmarkSuite(seed=seed, quick=True, store_url=store_url)
+    started = time.perf_counter()
+    client_a.run_all(figures)
+    warm_wall = time.perf_counter() - started
+
+    # The local tier must start empty or the gate false-fails on a rerun
+    # (a warm leftover dir turns every hit-remote into hit-local).
+    local_tier = out / "store-gate-local"
+    shutil.rmtree(local_tier, ignore_errors=True)
+    client_b = BenchmarkSuite(
+        seed=seed, quick=True, store_url=store_url, cache_dir=local_tier
+    )
+    started = time.perf_counter()
+    client_b.run_all(figures)
+    cold_wall = time.perf_counter() - started
+    report = client_b.last_report
+    dispositions = {r.figure_id: r.cache for r in report.records}
+    not_remote = sorted(f for f, cache in dispositions.items() if cache != "hit-remote")
+    # comparable_dict equality == byte-identical canonical JSON (both
+    # sides serialize the same JSON-ready dicts), so the one compare()
+    # helper is the single source of truth for every bit-identity gate.
+    mismatches = compare(reference, client_b, figures)
+    return {
+        "store_url": store_url,
+        "warm_wall_s": round(warm_wall, 4),
+        "cold_wall_s": round(cold_wall, 4),
+        "executed": report.executed,
+        "dispositions": dispositions,
+        "not_remote": not_remote,
+        "mismatches": mismatches,
+        "ok": report.executed == 0 and not not_remote and not mismatches,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=42)
@@ -80,6 +133,12 @@ def main(argv: list[str] | None = None) -> int:
         "--remote-workers", default=None, metavar="HOST:PORT[,...]",
         help="also gate serial vs the remote grid backend against this "
              "worker fleet (each member: repro-bench worker --port P)",
+    )
+    parser.add_argument(
+        "--store-url", default=None, metavar="HOST:PORT",
+        help="also gate the shared fleet store: warm this repro-bench "
+             "store server with one client, then require a cold-cache "
+             "client to run everything as hit-remote with zero executions",
     )
     args = parser.parse_args(argv)
     remote_fleet = tuple(
@@ -99,20 +158,37 @@ def main(argv: list[str] | None = None) -> int:
             args.seed, 1, args.figures, workers=remote_fleet
         )
         remote_mismatches = compare(serial_suite, remote_suite, args.figures)
+    out = pathlib.Path(args.out)
+    store_gate = None
+    if args.store_url:
+        store_gate = run_store_gate(
+            args.seed, args.figures, args.store_url, out, serial_suite
+        )
+
     mismatches = sorted(
         set(pool_mismatches) | set(grid_mismatches) | set(remote_mismatches)
+        | set(store_gate["mismatches"] if store_gate else ())
     )
-    status = "ok" if not mismatches else f"MISMATCH: {', '.join(mismatches)}"
+    store_failed = store_gate is not None and not store_gate["ok"]
+    status = "ok" if not mismatches and not store_failed else (
+        f"MISMATCH: {', '.join(mismatches)}" if mismatches
+        else f"STORE GATE FAILED: executed={store_gate['executed']} "
+             f"not-remote={','.join(store_gate['not_remote'])}"
+    )
     remote_note = (
         f" remote[{','.join(remote_fleet)}]={remote_wall:.2f}s" if remote_fleet else ""
+    )
+    store_note = (
+        f" store[{args.store_url}] warm={store_gate['warm_wall_s']:.2f}s "
+        f"cold={store_gate['cold_wall_s']:.2f}s executed={store_gate['executed']}"
+        if store_gate else ""
     )
     print(
         f"smoke[{','.join(args.figures)}] seed={args.seed} "
         f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s "
-        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s{remote_note} -> {status}"
+        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s{remote_note}{store_note} "
+        f"-> {status}"
     )
-
-    out = pathlib.Path(args.out)
     parallel_suite.save_results(out)
     (out / "BENCH_smoke.json").write_text(
         json.dumps(
@@ -131,12 +207,13 @@ def main(argv: list[str] | None = None) -> int:
                 "pool_mismatches": pool_mismatches,
                 "grid_mismatches": grid_mismatches,
                 "remote_mismatches": remote_mismatches,
+                "store_gate": store_gate,
             },
             indent=2,
         )
     )
     print(f"archived artifacts to {out}/")
-    return 1 if mismatches else 0
+    return 1 if mismatches or store_failed else 0
 
 
 if __name__ == "__main__":

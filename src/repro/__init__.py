@@ -45,6 +45,9 @@ __all__ = [
     "ExecutionPolicy",
     "ExperimentScheduler",
     "ResultStore",
+    "StoreServer",
+    "RemoteStore",
+    "TieredStore",
 ]
 
 _LAZY_EXPORTS = {
@@ -52,6 +55,9 @@ _LAZY_EXPORTS = {
     "ExecutionPolicy": ("repro.core.scheduler", "ExecutionPolicy"),
     "ExperimentScheduler": ("repro.core.scheduler", "ExperimentScheduler"),
     "ResultStore": ("repro.core.store", "ResultStore"),
+    "StoreServer": ("repro.core.storenet", "StoreServer"),
+    "RemoteStore": ("repro.core.storenet", "RemoteStore"),
+    "TieredStore": ("repro.core.storenet", "TieredStore"),
 }
 
 

@@ -11,7 +11,9 @@ Installed as ``repro-bench``::
     repro-bench plan fig09 [--quick]            # inspect one figure's grid
     repro-bench worker --port 7077              # join the worker fleet
     repro-bench run fig05 --grid-backend remote --workers 127.0.0.1:7077
-    repro-bench [--seed N] findings [--cache DIR]
+    repro-bench store --port 7078 --dir DIR     # serve a shared result store
+    repro-bench run fig05 --store 127.0.0.1:7078   # read/write the fleet cache
+    repro-bench [--seed N] findings [--cache DIR] [--store HOST:PORT]
     repro-bench hap [platform ...]
 
 ``--seed`` is a global option and precedes the subcommand.
@@ -23,6 +25,7 @@ import argparse
 import sys
 
 from repro.core.experiment import EXPERIMENTS
+from repro.core.remote import RemoteError
 from repro.core.suite import BenchmarkSuite
 from repro.errors import ConfigurationError
 from repro.kernel.functions import KernelFunctionCatalog
@@ -78,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result store; warm entries skip execution entirely",
     )
     run.add_argument(
+        "--store", metavar="HOST:PORT", default=None,
+        help="shared (network) result store to read through and write back "
+             "to (started with: repro-bench store --port P --dir DIR); "
+             "combines with --cache as the local tier",
+    )
+    run.add_argument(
         "--cache-max-mb", type=int, default=None, metavar="N",
         help="bound the result store to N MiB, evicting least-recently-read "
              "entries after writes (requires --cache)",
@@ -120,11 +129,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="local worker processes executing jobs (default: 1 = inline)",
     )
 
+    store = subparsers.add_parser(
+        "store", help="serve a shared result store to a client fleet"
+    )
+    store.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default: 127.0.0.1; use 0.0.0.0 to "
+             "serve a real fleet)",
+    )
+    store.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="TCP port to listen on (default: 0 = ephemeral; the bound "
+             "port is printed on startup)",
+    )
+    store.add_argument(
+        "--dir", dest="dir", default="shared-store", metavar="DIR",
+        help="cache directory backing the store (default: shared-store)",
+    )
+    store.add_argument(
+        "--max-mb", type=int, default=None, metavar="N",
+        help="bound the store to N MiB, evicting least-recently-read "
+             "entries after writes",
+    )
+
     findings = subparsers.add_parser("findings", help="check the 28 findings")
     findings.add_argument("--full", action="store_true", help="paper-scale repetitions")
     findings.add_argument(
         "--cache", metavar="DIR",
         help="persistent result store shared with 'run' (same seed/quick keys)",
+    )
+    findings.add_argument(
+        "--store", metavar="HOST:PORT", default=None,
+        help="shared (network) result store, as for 'run --store'",
     )
 
     hap = subparsers.add_parser("hap", help="HAP + defense-in-depth audit")
@@ -185,7 +221,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ) if args.workers else ()
     suite = BenchmarkSuite(
         seed=args.seed, quick=args.quick, jobs=args.jobs, grid_jobs=args.grid_jobs,
-        grid_backend=args.grid_backend, workers=workers,
+        grid_backend=args.grid_backend, workers=workers, store_url=args.store,
         cache_dir=args.cache,
         cache_max_bytes=(
             args.cache_max_mb * 1024 * 1024 if args.cache_max_mb is not None else None
@@ -208,9 +244,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 grid_note += f" width={width}"
             if p.get("workers"):
                 grid_note += f" workers={','.join(p['workers'])}"
+            store_note = f" store={p['store']}" if p.get("store") else ""
             print(
-                f"[provenance] backend={p['backend']}{grid_note} cache={p['cache']} "
-                f"wall={p['wall_time_s']:.3f}s seed={p['seed']}"
+                f"[provenance] backend={p['backend']}{grid_note} cache={p['cache']}"
+                f"{store_note} wall={p['wall_time_s']:.3f}s seed={p['seed']}"
             )
         print()
     if args.json:
@@ -253,8 +290,42 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.core.storenet import StoreServer
+
+    def _graceful_exit(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    # Same signal discipline as the worker: SIGTERM stops too, and SIGINT
+    # is restored in case a nohup'd start inherited SIGINT=SIG_IGN.
+    signal.signal(signal.SIGTERM, _graceful_exit)
+    signal.signal(signal.SIGINT, _graceful_exit)
+    server = StoreServer(
+        host=args.host,
+        port=args.port,
+        root=args.dir,
+        max_bytes=args.max_mb * 1024 * 1024 if args.max_mb is not None else None,
+    )
+    server.start()
+    # Parsable by scripts (and the CI workflow): the bound address on one
+    # line, flushed before the serve loop blocks.
+    print(
+        f"repro-bench store listening on {server.address_string} "
+        f"(dir {args.dir})",
+        flush=True,
+    )
+    server.serve_forever()
+    print("repro-bench store drained, exiting")
+    return 0
+
+
 def _cmd_findings(args: argparse.Namespace) -> int:
-    suite = BenchmarkSuite(seed=args.seed, quick=not args.full, cache_dir=args.cache)
+    suite = BenchmarkSuite(
+        seed=args.seed, quick=not args.full, cache_dir=args.cache,
+        store_url=args.store,
+    )
     report = suite.findings_report()
     print(report)
     return 0 if report.startswith("Findings reproduced: 28/28") else 1
@@ -311,6 +382,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_plan(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "store":
+            return _cmd_store(args)
         if args.command == "findings":
             return _cmd_findings(args)
         if args.command == "hap":
@@ -320,8 +393,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output truncated by a downstream pager/head: not an error.
         return 0
-    except ConfigurationError as exc:
-        # User error (unknown figure, bad policy...): one line, no traceback.
+    except (ConfigurationError, RemoteError) as exc:
+        # User error (unknown figure, bad policy, unreachable fleet or
+        # store...): one line, no traceback.
         print(f"repro-bench: error: {exc}", file=sys.stderr)
         return 2
     raise AssertionError("unreachable")

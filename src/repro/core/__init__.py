@@ -11,6 +11,7 @@
 * :mod:`repro.core.scheduler`  — parallel experiment scheduler + backends
 * :mod:`repro.core.remote`     — remote grid backend (worker fleet over TCP)
 * :mod:`repro.core.store`      — persistent content-addressed result store
+* :mod:`repro.core.storenet`   — shared (network) result store tier
 * :mod:`repro.core.suite`      — the user-facing BenchmarkSuite facade
 """
 
@@ -50,6 +51,7 @@ from repro.core.scheduler import (
     topological_batches,
 )
 from repro.core.store import ResultStore, StoreKey
+from repro.core.storenet import RemoteStore, RemoteStoreError, StoreServer, TieredStore
 from repro.core.suite import BenchmarkSuite
 from repro.core.findings import FindingCheck, check_all_findings
 from repro.core.density import DensityModel, GuestFootprint
@@ -102,6 +104,10 @@ __all__ = [
     "topological_batches",
     "ResultStore",
     "StoreKey",
+    "StoreServer",
+    "RemoteStore",
+    "RemoteStoreError",
+    "TieredStore",
     "BenchmarkSuite",
     "FindingCheck",
     "check_all_findings",

@@ -43,7 +43,7 @@ from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -132,15 +132,36 @@ def recv_frame(sock: socket.socket) -> Any:
 
 
 def parse_worker_address(address: str | tuple[str, int]) -> tuple[str, int]:
-    """``"host:port"`` (or an already-split pair) -> ``(host, port)``."""
+    """``"host:port"`` (or an already-split pair) -> ``(host, port)``.
+
+    IPv6 literals must be bracketed (``[::1]:7077`` -> ``("::1", 7077)``);
+    the brackets are stripped. An unbracketed address with more than one
+    colon is ambiguous — ``::1:7077`` could split anywhere — and is
+    rejected with a :class:`~repro.errors.ConfigurationError` naming the
+    bracketed spelling. Shared by the worker-fleet roster and the
+    ``--store`` address.
+    """
     if isinstance(address, tuple):
         host, port = address
         return str(host), int(port)
-    host, separator, port_text = address.rpartition(":")
-    if not separator or not host:
-        raise RemoteDispatchError(
-            f"worker address {address!r} is not of the form host:port"
-        )
+    if address.startswith("["):
+        host, bracket, rest = address[1:].partition("]")
+        if not host or not bracket or not rest.startswith(":"):
+            raise RemoteDispatchError(
+                f"worker address {address!r} is not of the form [host]:port"
+            )
+        port_text = rest[1:]
+    else:
+        host, separator, port_text = address.rpartition(":")
+        if not separator or not host:
+            raise RemoteDispatchError(
+                f"worker address {address!r} is not of the form host:port"
+            )
+        if ":" in host:
+            raise ConfigurationError(
+                f"ambiguous IPv6 worker address {address!r}: bracket the "
+                f"host as [{host}]:{port_text}"
+            )
     try:
         port = int(port_text)
     except ValueError:
@@ -557,6 +578,18 @@ class RemoteMapper:
                     send_frame(connection.sock, ("job", seq, state.fn, state.items[seq]))
                 if in_flight:
                     kind, seq, payload = recv_frame(connection.sock)
+                    if kind == "error" and seq is None:
+                        # A seq-less error is the server rejecting the
+                        # dialogue itself (protocol mismatch, unexpected
+                        # frame), not the outcome of any job — surfacing
+                        # it as "job None failed" would misattribute it.
+                        # Raising hands this driver's in-flight jobs to
+                        # the survivors via the except path below.
+                        raise RemoteProtocolError(
+                            f"worker {connection.address[0]}:"
+                            f"{connection.address[1]} rejected the "
+                            f"dispatch: {payload}"
+                        )
                     in_flight.discard(seq)
                     if kind == "result":
                         state.complete(seq, payload)
@@ -619,6 +652,7 @@ class _DispatchState:
         self.attempts = [0] * len(items)
         self.dead: set[_WorkerConnection] = set()
         self.error: RemoteError | None = None
+        self.last_failure: Exception | None = None
         self.completed = 0
         self._cv = threading.Condition()
 
@@ -651,6 +685,7 @@ class _DispatchState:
         self, in_flight: set[int], connection: _WorkerConnection, cause: Exception
     ) -> None:
         with self._cv:
+            self.last_failure = cause
             for seq in sorted(in_flight, reverse=True):
                 if self.attempts[seq] > self.retries:
                     if self.error is None:
@@ -686,8 +721,9 @@ class _DispatchState:
             raise self.error
         missing = [seq for seq, value in enumerate(self.results) if value is _UNSET]
         if missing:
+            cause = f"; last worker failure: {self.last_failure}" if self.last_failure else ""
             raise RemoteDispatchError(
                 f"{len(missing)} job(s) unassigned after every worker disconnected "
-                f"(first missing: {missing[0]})"
+                f"(first missing: {missing[0]}){cause}"
             )
         return self.results

@@ -44,8 +44,10 @@ from repro.core.runner import (
     execution_context,
     grid_mapper,
 )
+from repro.core.remote import parse_worker_address
 from repro.core.store import ResultStore, StoreKey
-from repro.errors import ConfigurationError
+from repro.core.storenet import RemoteStore, TieredStore
+from repro.errors import ConfigurationError, ReproError
 
 __all__ = [
     "ExecutionPolicy",
@@ -100,6 +102,11 @@ class ExecutionPolicy:
     semantics without fork/pickle overhead), and ``remote`` whenever a
     worker roster is given. Serial stays the default everywhere; callers
     opt in via ``--jobs N`` / ``--grid-jobs N`` / ``--workers ...``.
+
+    ``store_url`` names the shared (network) result store the run reads
+    through and writes back to (``host:port`` of a ``repro-bench store``
+    server, see :mod:`repro.core.storenet`) — like the worker roster,
+    *where* cached results live is deployment policy, not code.
     """
 
     jobs: int = 1
@@ -107,6 +114,7 @@ class ExecutionPolicy:
     grid_jobs: int = 1
     grid_backend: str | None = None
     workers: tuple[str, ...] = ()
+    store_url: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -139,6 +147,11 @@ class ExecutionPolicy:
                 "grid_jobs does not apply to the remote grid backend; "
                 "set --workers N on each repro-bench worker instead"
             )
+        if self.store_url is not None:
+            try:
+                parse_worker_address(self.store_url)
+            except ReproError as exc:
+                raise ConfigurationError(f"invalid store address: {exc}") from None
 
     @property
     def resolved_backend(self) -> str:
@@ -285,11 +298,16 @@ class JobRecord:
     figure_id: str
     digest: str
     backend: str
-    cache_hit: bool
     wall_time_s: float
     job_seed: int
     batch: int
     error: str | None = None
+    #: Cache disposition: ``hit-local`` (this client's store tier),
+    #: ``hit-remote`` (the shared fleet store), or ``miss``.
+    cache: str = "miss"
+    #: Address of the shared store this run read through (None when the
+    #: store is local-only or absent).
+    store: str | None = None
     #: Grid-level backend the job ran with (None for cache hits —
     #: nothing executed, so no grid dispatch happened).
     grid_backend: str | None = None
@@ -301,6 +319,11 @@ class JobRecord:
     #: the remote grid backend).
     workers: tuple[str, ...] | None = None
 
+    @property
+    def cache_hit(self) -> bool:
+        """Derived from :attr:`cache` so the two can never disagree."""
+        return self.cache != "miss"
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "figure_id": self.figure_id,
@@ -311,6 +334,8 @@ class JobRecord:
             "job_seed": self.job_seed,
             "batch": self.batch,
             "error": self.error,
+            "cache": self.cache,
+            "store": self.store,
             "grid_backend": self.grid_backend,
             "grid_jobs": self.grid_jobs,
             "grid_width": self.grid_width,
@@ -397,12 +422,19 @@ class ExperimentScheduler:
         *,
         quick: bool = False,
         policy: ExecutionPolicy | None = None,
-        store: ResultStore | None = None,
+        store: ResultStore | TieredStore | RemoteStore | None = None,
     ) -> None:
         self.seed = seed
         self.quick = quick
         self.policy = policy or ExecutionPolicy.serial()
+        if store is None and self.policy.store_url is not None:
+            # The policy prescribes a shared tier and no store was wired
+            # explicitly: read the fleet store directly (no local tier).
+            store = TieredStore(None, RemoteStore(self.policy.store_url))
         self.store = store
+        #: The shared store's address, recorded in provenance (None for
+        #: a local-only or absent store).
+        self.store_address: str | None = getattr(store, "url", None)
 
     # --- job construction -----------------------------------------------------------
 
@@ -481,17 +513,24 @@ class ExperimentScheduler:
             if cached is not None:
                 elapsed = time.perf_counter() - started
                 job_seed = Runner.job_seed(self.seed, figure_id)
-                self._attach_provenance(cached, key, "store", True, elapsed, job_seed)
+                # Tiered stores report which tier satisfied the read; a
+                # plain local store is its own (only) local tier.
+                tier = getattr(self.store, "last_source", None) or "local"
+                cache_label = f"hit-{tier}"
+                self._attach_provenance(
+                    cached, key, "store", cache_label, elapsed, job_seed
+                )
                 report.results[figure_id] = cached
                 report.records.append(
                     JobRecord(
                         figure_id=figure_id,
                         digest=key.digest,
                         backend="store",
-                        cache_hit=True,
                         wall_time_s=elapsed,
                         job_seed=job_seed,
                         batch=batch_index,
+                        cache=cache_label,
+                        store=self.store_address,
                     )
                 )
                 continue
@@ -523,11 +562,12 @@ class ExperimentScheduler:
                 figure_id=job.figure_id,
                 digest=key.digest,
                 backend=backend,
-                cache_hit=False,
                 wall_time_s=elapsed,
                 job_seed=job.job_seed,
                 batch=batch_index,
                 error=error,
+                cache="miss",
+                store=self.store_address,
                 grid_backend=job.grid_backend,
                 grid_jobs=job.grid_jobs,
                 grid_width=grid_width,
@@ -537,7 +577,7 @@ class ExperimentScheduler:
             if result is None:
                 continue
             self._attach_provenance(
-                result, key, backend, False, elapsed, job.job_seed,
+                result, key, backend, "miss", elapsed, job.job_seed,
                 grid_backend=job.grid_backend, grid_jobs=job.grid_jobs,
                 grid_width=grid_width, workers=job.workers or None,
             )
@@ -576,7 +616,7 @@ class ExperimentScheduler:
         result: FigureResult,
         key: StoreKey,
         backend: str,
-        cache_hit: bool,
+        cache: str,
         wall_time_s: float,
         job_seed: int,
         grid_backend: str | None = None,
@@ -590,7 +630,8 @@ class ExperimentScheduler:
             "grid_jobs": grid_jobs,
             "grid_width": grid_width,
             "workers": list(workers) if workers is not None else None,
-            "cache": "hit" if cache_hit else "miss",
+            "cache": cache,
+            "store": self.store_address,
             "wall_time_s": round(wall_time_s, 6),
             "seed": self.seed,
             "quick": self.quick,

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import itertools
 import json
 import os
 import pathlib
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterator
@@ -153,8 +155,9 @@ class ResultStore:
         self._hits = 0
         self._misses = 0
         self._evicted = 0
+        self._temp_counter = itertools.count()
         # A process that died between temp-write and rename leaves a
-        # *.tmp-<pid> file behind forever; adopt-and-sweep on open.
+        # *.tmp-* file behind forever; adopt-and-sweep on open.
         self._sweep_stale_temps(max_age_s=self.STALE_TEMP_AGE_S)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -165,6 +168,25 @@ class ResultStore:
     def path_for(self, key: StoreKey) -> pathlib.Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.root / f"{key.figure_id}-{key.digest}.json"
+
+    def _temp_path(self, path: pathlib.Path) -> pathlib.Path:
+        """A temp name unique to this writer (process, thread, and call).
+
+        A pid alone is not enough: two threads of one process writing
+        through a shared store (a :class:`~repro.core.storenet.StoreServer`
+        serving concurrent clients) would collide on the temp path and
+        could rename an interleaved, corrupt entry. The thread id and a
+        per-store monotonic counter make every in-flight write its own
+        file; :meth:`_sweep_stale_temps` recognizes the ``.tmp-<pid>``
+        prefix either way.
+        """
+        return path.with_suffix(
+            f".tmp-{os.getpid()}-{threading.get_ident()}-{next(self._temp_counter)}"
+        )
+
+    def describe(self) -> str:
+        """One-line location description (suite/CLI display)."""
+        return str(self.root)
 
     # --- read/write ---------------------------------------------------------------
 
@@ -209,7 +231,7 @@ class ResultStore:
             "key": key.to_dict(),
             "result": result.to_dict(),
         }
-        temp = path.with_suffix(f".tmp-{os.getpid()}")
+        temp = self._temp_path(path)
         temp.write_text(json.dumps(payload, indent=2))
         temp.replace(path)
         if self.max_bytes is not None:
@@ -284,21 +306,23 @@ class ResultStore:
         return evicted
 
     def _sweep_stale_temps(self, max_age_s: float | None = None) -> int:
-        """Remove orphaned ``*.tmp-<pid>`` files from interrupted writes.
+        """Remove orphaned temp files from interrupted writes.
 
-        Temps written by *this* process are always spared — they may be an
-        in-flight :meth:`put` on another thread. With ``max_age_s`` set
-        (the init-time sweep), other processes' temps are only removed
-        once older than the threshold, so a concurrently *live* writer
-        sharing the cache directory never loses its in-flight file;
-        :meth:`clear` passes ``None`` and removes them regardless of age.
+        Temps written by *this* process (``.tmp-<pid>`` from older
+        writers, ``.tmp-<pid>-<thread>-<n>`` from :meth:`_temp_path`) are
+        always spared — they may be an in-flight :meth:`put` on another
+        thread. With ``max_age_s`` set (the init-time sweep), other
+        processes' temps are only removed once older than the threshold,
+        so a concurrently *live* writer sharing the cache directory never
+        loses its in-flight file; :meth:`clear` passes ``None`` and
+        removes them regardless of age.
         """
         removed = 0
-        own_suffix = f".tmp-{os.getpid()}"
+        own_prefix = f".tmp-{os.getpid()}"
         if self.root.is_dir():
             now = time.time()
             for path in self.root.glob("*.tmp-*"):
-                if path.suffix == own_suffix:
+                if path.suffix == own_prefix or path.suffix.startswith(own_prefix + "-"):
                     continue
                 try:
                     if max_age_s is not None and now - path.stat().st_mtime < max_age_s:

@@ -1,0 +1,497 @@
+"""Shared (network) result store: the fleet cache tier.
+
+The local :class:`~repro.core.store.ResultStore` lets one machine skip
+work it already did; this module lets a *fleet* skip work any member
+already did. A :class:`StoreServer` exposes one cache directory over the
+same length-prefixed pickle framing and versioned hello handshake the
+worker fleet speaks (:mod:`repro.core.remote`) — the store server is
+just another addressable service on that transport, the CERN-RDA
+device-server split applied to the cache. A :class:`RemoteStore` is the
+client stub implementing the ``ResultStore`` read/write surface, and a
+:class:`TieredStore` composes the two: read-through local-LRU → remote →
+execute, write-back to both tiers.
+
+Where a cached result lives is deployment policy, never code — the
+RAFDA position. ``ExecutionPolicy(store_url="host:port")`` (CLI:
+``run --store host:port``) is the only difference between a private
+cache and a shared one, and the results are bit-identical either way:
+entries cross the wire as the same canonical JSON-ready dicts the local
+store writes to disk, so a second client with a cold local cache
+produces byte-for-byte the result a local run would.
+
+Wire protocol — framed pickles, synchronous request/reply per client:
+
+* the client opens with ``("hello", {"protocol": 1, "service":
+  "store"})`` and the server answers ``("hello", {"service": "store",
+  "protocol": 1})`` — the ``service`` marker makes dialing a worker
+  fleet member (or pointing a worker roster at a store) a clear error
+  instead of a confusing frame mismatch;
+* requests are ``("get", key_dict)`` → ``("ok", result_dict | None)``,
+  ``("put", key_dict, result_dict)`` → ``("ok", True)``, and
+  ``("stats",)`` → ``("ok", {...})``; keys travel as their
+  :meth:`~repro.core.store.StoreKey` fields and are validated against
+  :attr:`~repro.core.store.StoreKey.digest` by the underlying store on
+  both ends;
+* a request the server cannot honor answers ``("error", None, msg)``
+  and drops the connection; the client reconnects lazily on next use.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import socket
+import threading
+from typing import Any
+
+from repro.core.remote import (
+    RemoteError,
+    _quietly_close,
+    parse_worker_address,
+    recv_frame,
+    send_frame,
+)
+from repro.core.results import FigureResult
+from repro.core.store import ResultStore, StoreKey
+
+__all__ = [
+    "STORE_PROTOCOL_VERSION",
+    "RemoteStoreError",
+    "StoreServer",
+    "RemoteStore",
+    "TieredStore",
+]
+
+STORE_PROTOCOL_VERSION = 1
+
+#: Tier labels recorded in provenance (``cache: hit-local | hit-remote``).
+TIER_LOCAL = "local"
+TIER_REMOTE = "remote"
+
+
+class RemoteStoreError(RemoteError):
+    """The shared store could not be reached or violated the protocol.
+
+    Deliberately loud: quietly degrading to a miss would falsify the
+    recorded cache disposition and trigger the recompute storm the
+    shared tier exists to prevent.
+    """
+
+
+def _key_to_wire(key: StoreKey) -> dict[str, Any]:
+    return {
+        "figure_id": key.figure_id,
+        "seed": key.seed,
+        "quick": key.quick,
+        "overrides_json": key.overrides_json,
+    }
+
+
+def _key_from_wire(payload: dict[str, Any]) -> StoreKey:
+    return StoreKey(
+        figure_id=str(payload["figure_id"]),
+        seed=int(payload["seed"]),
+        quick=bool(payload["quick"]),
+        overrides_json=str(payload["overrides_json"]),
+    )
+
+
+# --- server ----------------------------------------------------------------------
+
+
+class StoreServer:
+    """Serves one shared cache directory to a fleet of clients.
+
+    Listens on ``host:port`` (``port=0`` binds an ephemeral port), backed
+    by a :class:`~repro.core.store.ResultStore` on ``root`` (optionally
+    size-bounded via ``max_bytes`` — the LRU tier semantics are the local
+    store's, unchanged). Each client connection gets a handler thread;
+    the store itself is thread-safe for concurrent get/put because every
+    write lands under a writer-unique temp name and an atomic rename.
+
+    ``serve_forever()`` is the CLI loop (``repro-bench store``); the
+    context-manager form is the in-process loopback fixture the tests
+    and CI are built on::
+
+        with StoreServer(port=0, root=cache_dir) as server:
+            store = RemoteStore(server.address_string)
+            ...
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        root: str | pathlib.Path,
+        max_bytes: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = ResultStore(root, max_bytes=max_bytes)
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._connections: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # --- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real port."""
+        if self._listener is None:
+            raise RemoteStoreError("store server is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def address_string(self) -> str:
+        """The bound address as the CLI's ``host:port`` spelling."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "StoreServer":
+        """Bind and begin serving clients."""
+        if self._listener is not None:
+            raise RemoteStoreError("store server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-store-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every client connection."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        _quietly_close(listener)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            _quietly_close(conn)
+        for handler in list(self._handlers):
+            handler.join(timeout=10)
+        self._handlers.clear()
+        self._stopping.clear()
+
+    def serve_forever(self) -> None:
+        """The CLI loop: block until interrupted, then stop."""
+        if self._listener is None:
+            self.start()
+        try:
+            while self._listener is not None and not self._stopping.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "StoreServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # --- connection handling ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            with self._lock:
+                self._connections.append(conn)
+                handler = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-store-conn",
+                    daemon=True,
+                )
+                self._handlers.append(handler)
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_frame(conn)
+            if (
+                not isinstance(hello, tuple)
+                or len(hello) != 2
+                or hello[0] != "hello"
+                or not isinstance(hello[1], dict)
+                or hello[1].get("service") != "store"
+                or hello[1].get("protocol") != STORE_PROTOCOL_VERSION
+            ):
+                send_frame(conn, ("error", None, "store protocol mismatch"))
+                return
+            send_frame(
+                conn, ("hello", {"service": "store", "protocol": STORE_PROTOCOL_VERSION})
+            )
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except EOFError:
+                    return  # client done
+                reply = self._handle(message)
+                send_frame(conn, reply)
+                if reply[0] == "error":
+                    return  # protocol is broken; make the client redial
+        except (RemoteError, OSError, EOFError):
+            pass  # torn connection: the client reconnects lazily
+        finally:
+            _quietly_close(conn)
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+                # Self-prune finished handlers (long-lived servers accept
+                # unboundedly many connections).
+                self._handlers[:] = [t for t in self._handlers if t.is_alive()]
+
+    def _handle(self, message: Any) -> tuple:
+        if not (isinstance(message, tuple) and message and isinstance(message[0], str)):
+            return ("error", None, f"unexpected frame {message!r}")
+        try:
+            if message[0] == "get" and len(message) == 2:
+                result = self.store.get(_key_from_wire(message[1]))
+                return ("ok", result.to_dict() if result is not None else None)
+            if message[0] == "put" and len(message) == 3:
+                key = _key_from_wire(message[1])
+                self.store.put(key, FigureResult.from_dict(message[2]))
+                return ("ok", True)
+            if message[0] == "stats" and len(message) == 1:
+                stats = dict(self.store.stats)
+                stats["entries"] = sum(1 for _ in self.store.entries())
+                stats["total_bytes"] = self.store.total_bytes()
+                return ("ok", stats)
+        except Exception as exc:
+            return ("error", None, f"{type(exc).__name__}: {exc}")
+        return ("error", None, f"unexpected frame {message!r}")
+
+
+# --- client ----------------------------------------------------------------------
+
+
+class RemoteStore:
+    """Client stub for a :class:`StoreServer`: the ``ResultStore`` surface.
+
+    Connects lazily on first use — constructing one (or prescribing it in
+    an :class:`~repro.core.scheduler.ExecutionPolicy`) never opens a
+    socket, so a run fully satisfied by a warmer tier never dials. A torn
+    connection is dropped and redialed on the next request. Failures
+    raise :class:`RemoteStoreError` rather than degrading to misses.
+
+    :attr:`last_source` mirrors :class:`TieredStore`: ``"remote"`` after
+    a hit, ``None`` after a miss — the scheduler reads it to label cache
+    provenance.
+    """
+
+    def __init__(
+        self, address: str | tuple[str, int], *, connect_timeout: float = 10.0
+    ) -> None:
+        self.address = parse_worker_address(address)
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+        self._hits = 0
+        self._misses = 0
+        self.last_source: str | None = None
+
+    @property
+    def url(self) -> str:
+        """The store address as the CLI's ``host:port`` spelling."""
+        host, port = self.address
+        return f"{host}:{port}" if ":" not in host else f"[{host}]:{port}"
+
+    def describe(self) -> str:
+        """One-line location description (suite/CLI display)."""
+        return f"store://{self.url}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteStore({self.url!r})"
+
+    # --- transport -------------------------------------------------------------
+
+    def _connection(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            raise RemoteStoreError(
+                f"could not reach result store {self.url}: {exc}"
+            ) from exc
+        try:
+            # Handshake under the connect timeout, then block freely.
+            send_frame(
+                sock, ("hello", {"protocol": STORE_PROTOCOL_VERSION, "service": "store"})
+            )
+            reply = recv_frame(sock)
+            if (
+                not isinstance(reply, tuple)
+                or reply[0] != "hello"
+                or reply[1].get("service") != "store"
+            ):
+                raise RemoteStoreError(
+                    f"{self.url} is not a result store (handshake reply: {reply!r}) — "
+                    f"is it a repro-bench worker?"
+                )
+            sock.settimeout(None)
+        except RemoteStoreError:
+            _quietly_close(sock)
+            raise
+        except (RemoteError, OSError, EOFError) as exc:
+            _quietly_close(sock)
+            raise RemoteStoreError(f"store handshake with {self.url} failed: {exc}") from exc
+        self._sock = sock
+        return sock
+
+    def _request(self, message: tuple) -> Any:
+        sock = self._connection()
+        try:
+            send_frame(sock, message)
+            reply = recv_frame(sock)
+        except (RemoteError, OSError, EOFError) as exc:
+            self.close()
+            raise RemoteStoreError(f"result store {self.url} failed: {exc}") from exc
+        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "ok":
+            return reply[1]
+        self.close()
+        if isinstance(reply, tuple) and len(reply) == 3 and reply[0] == "error":
+            raise RemoteStoreError(f"result store {self.url} refused: {reply[2]}")
+        raise RemoteStoreError(f"result store {self.url} sent an unexpected frame: {reply!r}")
+
+    def close(self) -> None:
+        """Drop the connection (idempotent; the store may be reused)."""
+        if self._sock is not None:
+            _quietly_close(self._sock)
+            self._sock = None
+
+    def __enter__(self) -> "RemoteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # --- ResultStore surface ---------------------------------------------------
+
+    def get(self, key: StoreKey) -> FigureResult | None:
+        """Load a shared result, or None on miss."""
+        payload = self._request(("get", _key_to_wire(key)))
+        if payload is None:
+            self._misses += 1
+            self.last_source = None
+            return None
+        self._hits += 1
+        self.last_source = TIER_REMOTE
+        return FigureResult.from_dict(payload)
+
+    def put(self, key: StoreKey, result: FigureResult) -> None:
+        """Publish a result to the shared tier."""
+        self._request(("put", _key_to_wire(key), result.to_dict()))
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return self._request(("get", _key_to_wire(key))) is not None
+
+    def server_stats(self) -> dict[str, Any]:
+        """The server's own counters plus entry count and total bytes."""
+        return self._request(("stats",))
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters as seen by this client."""
+        return {"hits": self._hits, "misses": self._misses, "evicted": 0}
+
+
+# --- tiering ---------------------------------------------------------------------
+
+
+class TieredStore:
+    """Local-LRU in front of the shared tier: the fleet client's store.
+
+    Reads go local → remote → (caller executes); a remote hit is written
+    back to the local tier so the next read is local. Writes land in both
+    tiers, so every fleet member's work is published. ``local`` may be
+    ``None`` for a client that reads the shared tier directly.
+
+    :attr:`last_source` reports where the most recent :meth:`get` was
+    satisfied (``"local"``, ``"remote"``, or ``None`` on miss) — the
+    scheduler turns it into the ``cache: hit-local | hit-remote | miss``
+    provenance label.
+    """
+
+    def __init__(self, local: ResultStore | None, remote: RemoteStore) -> None:
+        self.local = local
+        self.remote = remote
+        self.last_source: str | None = None
+
+    @property
+    def url(self) -> str:
+        """The shared tier's address (recorded in provenance)."""
+        return self.remote.url
+
+    def describe(self) -> str:
+        """One-line location description (suite/CLI display)."""
+        if self.local is None:
+            return self.remote.describe()
+        return f"{self.local.describe()} -> {self.remote.describe()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TieredStore(local={self.local!r}, remote={self.remote!r})"
+
+    def get(self, key: StoreKey) -> FigureResult | None:
+        """Read through the tiers; a remote hit warms the local tier."""
+        self.last_source = None
+        if self.local is not None:
+            result = self.local.get(key)
+            if result is not None:
+                self.last_source = TIER_LOCAL
+                return result
+        result = self.remote.get(key)
+        if result is not None:
+            self.last_source = TIER_REMOTE
+            if self.local is not None:
+                self.local.put(key, result)
+            return result
+        return None
+
+    def put(self, key: StoreKey, result: FigureResult) -> None:
+        """Write back to both tiers."""
+        if self.local is not None:
+            self.local.put(key, result)
+        self.remote.put(key, result)
+
+    def __contains__(self, key: StoreKey) -> bool:
+        if self.local is not None and key in self.local:
+            return True
+        return key in self.remote
+
+    def close(self) -> None:
+        """Drop the shared tier's connection (idempotent)."""
+        self.remote.close()
+
+    def __enter__(self) -> "TieredStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> dict[str, Any]:
+        """Per-tier counters: ``{"local": {...} | None, "remote": {...}}``."""
+        return {
+            "local": dict(self.local.stats) if self.local is not None else None,
+            "remote": dict(self.remote.stats),
+        }

@@ -19,6 +19,12 @@ Example::
     suite = BenchmarkSuite(seed=42, jobs=4, grid_jobs=2, cache_dir="results-cache")
     print(suite.run_figure("fig11").render())
     report = suite.findings_report()
+
+A fleet of clients can share one store tier (``repro-bench store`` on
+the server side; see :mod:`repro.core.storenet`)::
+
+    shared = BenchmarkSuite(seed=42, store_url="cachehost:7078",
+                            cache_dir="local-cache")
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.core.scheduler import (
     SchedulerReport,
 )
 from repro.core.store import ResultStore, StoreKey
+from repro.core.storenet import RemoteStore, TieredStore
 from repro.errors import ConfigurationError
 from repro.hardware.topology import paper_testbed
 
@@ -55,10 +62,11 @@ class BenchmarkSuite:
         grid_jobs: int = 1,
         grid_backend: str | None = None,
         workers: tuple[str, ...] | list[str] = (),
+        store_url: str | None = None,
         policy: ExecutionPolicy | None = None,
         cache_dir: str | pathlib.Path | None = None,
         cache_max_bytes: int | None = None,
-        store: ResultStore | None = None,
+        store: ResultStore | TieredStore | None = None,
     ) -> None:
         self.seed = seed
         self.quick = quick
@@ -68,11 +76,18 @@ class BenchmarkSuite:
             grid_jobs=grid_jobs,
             grid_backend=grid_backend,
             workers=tuple(workers),
+            store_url=store_url,
         )
-        self.store = store if store is not None else (
-            ResultStore(cache_dir, max_bytes=cache_max_bytes)
-            if cache_dir is not None else None
-        )
+        if store is None:
+            store = (
+                ResultStore(cache_dir, max_bytes=cache_max_bytes)
+                if cache_dir is not None else None
+            )
+            if self.policy.store_url is not None:
+                # The shared tier sits behind the (optional) local LRU:
+                # reads go local -> remote -> execute, writes back to both.
+                store = TieredStore(store, RemoteStore(self.policy.store_url))
+        self.store = store
         self.scheduler = ExperimentScheduler(
             seed, quick=quick, policy=self.policy, store=self.store
         )
@@ -221,7 +236,7 @@ class BenchmarkSuite:
             f"grid_backend={self.policy.resolved_grid_backend} "
             f"grid_jobs={self.policy.grid_jobs} "
             f"{workers}"
-            f"store={self.store.root if self.store else 'none'}\n"
+            f"store={self.store.describe() if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
         )
 
@@ -258,6 +273,7 @@ class BenchmarkSuite:
                     "grid_backend": self.policy.resolved_grid_backend,
                     "grid_jobs": self.policy.grid_jobs,
                     "workers": list(self.policy.workers),
+                    "store": self.scheduler.store_address,
                     "machine": self.machine.describe(),
                     "figures": [p.name for p in written],
                     "provenance": provenance,

@@ -125,7 +125,7 @@ class TestSuiteExecutionLayer:
         assert warm.last_report.executed == 0
         assert warm.last_report.cache_hits == len(self.SUBSET)
         for figure_id in self.SUBSET:
-            assert results[figure_id].provenance["cache"] == "hit"
+            assert results[figure_id].provenance["cache"] == "hit-local"
 
     def test_store_keys_respect_seed_and_quick(self, tmp_path):
         BenchmarkSuite(seed=42, quick=True, cache_dir=tmp_path).run_figure("fig11")

@@ -183,6 +183,25 @@ class TestFraming:
         with pytest.raises(RemoteDispatchError, match="non-numeric"):
             parse_worker_address("host:seven")
 
+    def test_parse_bracketed_ipv6(self):
+        # Regression: the brackets used to stay in the host part.
+        assert parse_worker_address("[::1]:7077") == ("::1", 7077)
+        assert parse_worker_address("[2001:db8::2]:9") == ("2001:db8::2", 9)
+
+    def test_parse_unbracketed_ipv6_is_ambiguous(self):
+        # Regression: ::1:7077 used to split silently at the last colon,
+        # though it could equally be the portless v6 literal 0:...:1:7077
+        # — now it demands the unambiguous bracketed spelling.
+        with pytest.raises(ConfigurationError, match=r"bracket the host as \[::1\]:7077"):
+            parse_worker_address("::1:7077")
+
+    def test_parse_malformed_brackets_rejected(self):
+        for bad in ("[::1]", "[::1]7077", "[]:7077"):
+            with pytest.raises(RemoteDispatchError, match=r"\[host\]:port"):
+                parse_worker_address(bad)
+        with pytest.raises(RemoteDispatchError, match="non-numeric"):
+            parse_worker_address("[::1]:seven")
+
 
 class TestWorkerServer:
     def test_ephemeral_port_resolves_on_start(self):
@@ -313,6 +332,30 @@ class TestRemoteMapper:
             with pytest.raises(RemoteDispatchError):
                 mapper(_double, list(range(8)))
 
+    def test_seqless_server_error_is_a_protocol_failure_not_job_none(self):
+        # Regression: a seq-less ("error", None, msg) reply — the server
+        # rejecting the dialogue, not a job outcome — used to surface as
+        # a misleading RemoteJobError("job None failed ...") after
+        # in_flight.discard(None). It must read as a protocol-level
+        # failure naming the worker and the server's message.
+        rejecting = _RejectingWorker("unexpected frame ('job', ...)")
+        with rejecting:
+            mapper = RemoteMapper([rejecting.address_string], retries=1)
+            with pytest.raises(RemoteDispatchError, match="rejected the dispatch") as info:
+                mapper(_double, [1, 2])
+            assert "unexpected frame" in str(info.value)
+            assert "job None" not in str(info.value)
+
+    def test_seqless_error_requeues_to_a_healthy_survivor(self, loopback_worker):
+        # With a healthy fleet member alongside, the rejecting worker's
+        # in-flight jobs must be re-queued there and the dispatch still
+        # complete — before the fix the whole dispatch failed.
+        rejecting = _RejectingWorker("protocol mismatch")
+        with rejecting:
+            roster = [rejecting.address_string, loopback_worker.address_string]
+            with RemoteMapper(roster) as mapper:
+                assert mapper(_double, list(range(10))) == [x * 2 for x in range(10)]
+
     def test_unpicklable_payload_fails_cleanly_instead_of_hanging(self, loopback_worker):
         # A send-side pickling failure kills that worker's driver; the
         # dispatch must surface a RemoteError, not park forever waiting
@@ -373,6 +416,49 @@ class _FlakyWorker:
                 return
 
     def __enter__(self) -> "_FlakyWorker":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+
+class _RejectingWorker:
+    """A fleet member that answers every job with a seq-less error.
+
+    Completes the handshake, then replies ``("error", None, message)`` to
+    the first job — what a real server sends on a protocol mismatch or an
+    unexpected frame — and closes the connection.
+    """
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    @property
+    def address_string(self) -> str:
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def _serve(self) -> None:
+        try:
+            conn, _peer = self._listener.accept()
+        except OSError:
+            return
+        with conn:
+            try:
+                recv_frame(conn)  # hello
+                send_frame(conn, ("hello", {"slots": 1}))
+                recv_frame(conn)  # first job
+                send_frame(conn, ("error", None, self.message))
+            except (EOFError, RemoteProtocolError, OSError):
+                return
+
+    def __enter__(self) -> "_RejectingWorker":
         self._thread.start()
         return self
 

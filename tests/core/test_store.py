@@ -202,6 +202,159 @@ class TestStaleTempSweep:
         assert list(tmp_path.glob("*.tmp-*")) == []  # put renamed its temp away
 
 
+class TestConcurrentWriters:
+    """Two writers through one store must never share a temp path.
+
+    Regression for the ``.tmp-<pid>``-only naming: two threads of one
+    process (exactly what a :class:`~repro.core.storenet.StoreServer`
+    does for concurrent clients) collided on the temp path and could
+    rename an interleaved, corrupt entry.
+    """
+
+    def test_temp_names_are_unique_per_writer(self, tmp_path):
+        import os
+        import re
+        import threading
+
+        store = ResultStore(tmp_path)
+        target = store.path_for(StoreKey.for_run("figX", 42, False, None))
+        first = store._temp_path(target)
+        second = store._temp_path(target)
+        assert first != second  # the old naming returned the same path twice
+        pattern = rf"\.tmp-{os.getpid()}-{threading.get_ident()}-\d+$"
+        assert re.search(pattern, first.name)
+
+    def test_temp_names_differ_across_threads(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path)
+        target = store.path_for(StoreKey.for_run("figX", 42, False, None))
+        names = []
+
+        def record():
+            names.append(store._temp_path(target))
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(set(names)) == 4
+
+    def test_concurrent_same_key_puts_never_corrupt(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path)
+        key = StoreKey.for_run("figX", 42, False, None)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(20):
+                    store.put(key, sample_result())
+                    assert store.get(key) is not None  # never a torn entry
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert store.get(key) is not None
+        assert list(tmp_path.glob("*.tmp-*")) == []  # every temp was renamed
+
+    def test_sweep_recognizes_threaded_temp_names(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        # This process's new-style temp: spared by clear() (it may be an
+        # in-flight put on another thread of this process)...
+        own = tmp_path / f"figX-abc.tmp-{os.getpid()}-12345-0"
+        own.write_text("{in-flight")
+        # ... while a foreign new-style temp is still swept.
+        foreign = TestStaleTempSweep.orphan(tmp_path)
+        foreign_threaded = tmp_path / "figX-abc.tmp-999999999-777-3"
+        foreign_threaded.write_text("{half-written")
+        assert store.clear() == 2
+        assert own.exists()
+        assert not foreign.exists() and not foreign_threaded.exists()
+
+    def test_pid_prefix_match_is_exact(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        # A pid that merely *starts with* this process's pid digits is
+        # foreign: .tmp-<pid>0-... must not be mistaken for our own.
+        lookalike = tmp_path / f"figX-abc.tmp-{os.getpid()}0-1-0"
+        lookalike.write_text("{half-written")
+        assert store.clear() == 1
+        assert not lookalike.exists()
+
+
+def _contend_on_store(root: str, worker_seed: int, budget: int) -> None:
+    """Child-process body for the multi-process contention test.
+
+    Interleaves put/get/eviction (``max_bytes`` forces ``_evict`` on
+    every write) with the other workers on one shared cache directory.
+    Note ``_evict(protect=...)`` only protects *this* process's newest
+    entry — a concurrent process may evict it, which must read as a
+    clean miss, never an error.
+    """
+    store = ResultStore(root, max_bytes=budget)
+    for index in range(15):
+        key = StoreKey.for_run("figX", (worker_seed + index) % 6, False, None)
+        store.put(key, sample_result())
+        loaded = store.get(key)  # valid entry or clean miss (evicted)
+        assert loaded is None or loaded.figure_id == "figX"
+        store.get(StoreKey.for_run("figX", index % 6, False, None))
+
+
+class TestMultiProcessContention:
+    """Concurrent put/get/_evict from several processes on one cache dir."""
+
+    def test_contending_processes_leave_a_consistent_store(self, tmp_path):
+        import json as json_module
+        import multiprocessing
+
+        # One entry's size, to pick an eviction budget that keeps every
+        # writer evicting while the others read.
+        probe = ResultStore(tmp_path / "probe")
+        size = probe.put(
+            StoreKey.for_run("figX", 0, False, None), sample_result()
+        ).stat().st_size
+        root = tmp_path / "shared"
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(
+                target=_contend_on_store, args=(str(root), seed, 3 * size)
+            )
+            for seed in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        assert all(worker.exitcode == 0 for worker in workers)
+        # Whatever survived the eviction crossfire is complete and valid.
+        survivors = list(root.glob("*.json"))
+        assert survivors  # each process's own newest entry was protected
+        for path in survivors:
+            payload = json_module.loads(path.read_text())
+            assert payload["key"]["figure_id"] == "figX"
+        assert list(root.glob("*.tmp-*")) == []
+        # A fresh store on the directory reads every survivor cleanly.
+        fresh = ResultStore(root)
+        for entry in fresh.entries():
+            key = StoreKey.for_run(
+                entry["figure_id"], entry["seed"], entry["quick"], entry["overrides"]
+            )
+            assert fresh.get(key) is not None
+
+
 class TestEviction:
     """Size-bounded LRU eviction: least-recently-read entries go first."""
 
