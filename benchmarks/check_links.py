@@ -1,0 +1,76 @@
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans README.md and docs/*.md for markdown links, ignores absolute URLs
+and pure in-page anchors, and fails (exit 1) listing every relative link
+whose target file does not exist. Pure stdlib, no network — this is the
+CI step that keeps the docs layer from silently rotting as files move.
+
+Usage::
+
+    python benchmarks/check_links.py            # check the repo's docs
+    python benchmarks/check_links.py README.md docs/ARCHITECTURE.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown links: [text](target). Deliberately simple — the docs
+#: don't use reference-style links or angle-bracketed targets.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not relative file paths.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(path: pathlib.Path) -> list[str]:
+    """All inline link targets in one markdown file."""
+    return _LINK_PATTERN.findall(path.read_text(encoding="utf-8"))
+
+
+def broken_links(path: pathlib.Path) -> list[str]:
+    """The file's relative link targets that do not resolve on disk."""
+    broken = []
+    for target in iter_links(path):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]  # strip any fragment
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append(target)
+    return broken
+
+
+def default_documents(root: pathlib.Path) -> list[pathlib.Path]:
+    """The markdown set the CI step checks."""
+    documents = [root / "README.md"]
+    documents.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in documents if path.is_file()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(__file__).resolve().parents[1]
+    documents = (
+        [pathlib.Path(argument) for argument in arguments]
+        if arguments
+        else default_documents(root)
+    )
+    failures = 0
+    for document in documents:
+        for target in broken_links(document):
+            print(f"{document}: broken link -> {target}")
+            failures += 1
+    checked = ", ".join(str(d) for d in documents)
+    if failures:
+        print(f"link check FAILED: {failures} broken link(s) in {checked}")
+        return 1
+    print(f"link check OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

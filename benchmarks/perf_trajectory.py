@@ -1,0 +1,31 @@
+"""Perf trajectory runner: measure the repo's own speed into BENCH_<pr>.json.
+
+Thin launcher around :mod:`repro.core.perf` so the harness can run from a
+checkout without installation (CI does exactly this). The interesting
+parts — the metrics, the schema, the soft regression gate — live in the
+library module; ``repro-bench perf`` is the same code behind the
+installed CLI.
+
+Usage::
+
+    python benchmarks/perf_trajectory.py                 # quick mode, BENCH_6.json
+    python benchmarks/perf_trajectory.py --full          # production-sized grid
+    python benchmarks/perf_trajectory.py --check BENCH_6.json   # schema gate only
+
+See ``docs/PERFORMANCE.md`` for the schema and the CI wiring.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# Allow running from a checkout without installation.
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

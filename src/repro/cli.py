@@ -15,6 +15,7 @@ Installed as ``repro-bench``::
     repro-bench run fig05 --store 127.0.0.1:7078   # read/write the fleet cache
     repro-bench [--seed N] findings [--cache DIR] [--store HOST:PORT]
     repro-bench hap [platform ...]
+    repro-bench perf [--full] [--pr N] [--baseline BENCH_5.json]
 
 ``--seed`` is a global option and precedes the subcommand.
 """
@@ -28,7 +29,7 @@ from repro.core.experiment import EXPERIMENTS
 from repro.core.remote import RemoteError
 from repro.core.suite import BenchmarkSuite
 from repro.errors import ConfigurationError
-from repro.kernel.functions import KernelFunctionCatalog
+from repro.kernel.functions import default_catalog
 from repro.platforms import get_platform, platform_names
 from repro.security.analysis import audit_platform
 from repro.security.epss import EpssModel
@@ -165,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     hap = subparsers.add_parser("hap", help="HAP + defense-in-depth audit")
     hap.add_argument("platforms", nargs="*", help="platform names (default: main roster)")
+
+    perf = subparsers.add_parser(
+        "perf", help="measure the repo's perf trajectory into BENCH_<pr>.json"
+    )
+    from repro.core.perf import add_perf_arguments
+
+    add_perf_arguments(perf)
 
     advise = subparsers.add_parser(
         "advise", help="recommend platforms for weighted workload needs"
@@ -336,7 +344,7 @@ def _cmd_hap(args: argparse.Namespace) -> int:
         "native", "docker", "lxc", "qemu", "firecracker",
         "cloud-hypervisor", "kata", "gvisor", "osv",
     ]
-    catalog = KernelFunctionCatalog()
+    catalog = default_catalog()
     epss = EpssModel()
     print(f"{'platform':<18} {'HAP':>6} {'weighted':>10} {'depth':>7}")
     print("-" * 45)
@@ -388,6 +396,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_findings(args)
         if args.command == "hap":
             return _cmd_hap(args)
+        if args.command == "perf":
+            from repro.core.perf import run_perf_command
+
+            return run_perf_command(args)
         if args.command == "advise":
             return _cmd_advise(args)
     except BrokenPipeError:

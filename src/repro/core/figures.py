@@ -19,7 +19,7 @@ from typing import Any, Callable
 from repro.core.plan import FigurePlan, GridOutcome, LoweredGrid
 from repro.core.results import FigureResult, ResultRow, SeriesRow
 from repro.core.stats import summarize
-from repro.kernel.functions import KernelFunctionCatalog
+from repro.kernel.functions import default_catalog
 from repro.platforms import PLATFORM_SETS
 from repro.platforms.base import Platform
 from repro.rng import RngStream
@@ -57,15 +57,17 @@ def _platforms(default_set: str, override: list[str] | None) -> list[str]:
 class HapMeasurementWorkload(Workload):
     """Adapter putting the deterministic HAP probe on the job grid.
 
-    The catalog and EPSS model are rebuilt inside :meth:`run` so the
-    workload stays a stateless, trivially picklable grid payload.
+    The catalog and EPSS model are looked up inside :meth:`run` so the
+    workload stays a stateless, trivially picklable grid payload; the
+    memoized :func:`~repro.kernel.functions.default_catalog` makes that
+    lookup free after the first cell in each process.
     """
 
     name = "hap"
 
     def run(self, platform: Platform, rng: RngStream) -> Any:
         del rng  # the HAP measurement is fully deterministic
-        return measure_hap(platform, KernelFunctionCatalog(), EpssModel())
+        return measure_hap(platform, default_catalog(), EpssModel())
 
 
 # --- Figure 5: ffmpeg ------------------------------------------------------------
@@ -597,7 +599,14 @@ def build_plan(figure_id: str, **kwargs) -> FigurePlan:
 
 
 def lower_figure(figure_id: str, seed: int, **kwargs) -> LoweredGrid:
-    """Lower one figure's plan against ``seed`` without executing it."""
+    """Lower one figure's plan against ``seed`` without executing it.
+
+    The returned :class:`~repro.core.plan.LoweredGrid` is the flat,
+    inspectable ``(platform, rep)`` job grid: ``.describe()`` prints it
+    (the ``repro-bench plan`` view), ``.execute(mapper)`` runs it on any
+    grid backend, and ``.cells[i].job.run()`` reproduces exactly what a
+    worker executes — the profiling seam (``docs/PERFORMANCE.md``).
+    """
     return build_plan(figure_id, **kwargs).lower(seed)
 
 

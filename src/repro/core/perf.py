@@ -1,0 +1,626 @@
+"""Performance trajectory: the repo's own benchmark harness.
+
+Reproducing a *performance* paper obliges us to watch our own
+performance: a regression in the grid hot path silently turns every
+figure rerun and every CI round slower, and nothing else in the suite
+would notice — the golden values only pin *what* is computed, not how
+fast. This module measures the three rates the middleware split lives
+by and records them as a schema-versioned ``BENCH_<pr>.json`` at the
+repo root, one file per PR — the performance trajectory future changes
+are judged against:
+
+* **grid throughput** — cells/second through a lowered figure grid on
+  the serial, process, and remote-loopback backends (the same
+  order-preserving mappers production runs use);
+* **warm store latency** — queries/second against a warm local
+  :class:`~repro.core.store.ResultStore` and a warm
+  :class:`~repro.core.storenet.RemoteStore` served over the loopback
+  wire protocol;
+* **lowering time** — milliseconds to lower representative figure
+  plans into their ``(platform, rep)`` grids.
+
+Every metric stores its raw samples alongside median and standard
+deviation, plus a machine fingerprint and git revision, so a number is
+never compared across incomparable machines silently — the regression
+gate (:func:`compare_trajectories`) is *soft*: it labels each metric
+``improved`` / ``ok`` / ``regressed`` and never fails a build on speed
+alone. CI fails only on schema drift (:func:`validate_payload`).
+
+Run it via ``repro-bench perf`` or ``python benchmarks/perf_trajectory.py``;
+see ``docs/PERFORMANCE.md`` for the schema and workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform as platform_module
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.core.figures import build_plan, run_figure
+from repro.core.remote import WorkerServer
+from repro.core.runner import grid_mapper
+from repro.core.store import ResultStore, StoreKey
+from repro.core.storenet import RemoteStore, StoreServer
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CURRENT_PR",
+    "MetricSeries",
+    "GateFinding",
+    "metric_keys",
+    "run_trajectory",
+    "write_trajectory",
+    "load_trajectory",
+    "validate_payload",
+    "compare_trajectories",
+    "previous_bench_path",
+    "format_report",
+    "main",
+]
+
+#: Bump on any structural change to the BENCH payload; the CI perf-smoke
+#: job fails when a regenerated file and this constant disagree.
+BENCH_SCHEMA_VERSION = 1
+
+#: The PR this checkout writes its trajectory file for (``BENCH_<pr>.json``).
+CURRENT_PR = 6
+
+#: The figure whose lowered grid carries the throughput measurement: a
+#: full-roster bar figure with cheap cells, so the measured rate is the
+#: *dispatch machinery*, not one workload's arithmetic.
+GRID_FIGURE = "fig05"
+
+#: Figures timed by the lowering metric: a small bar grid, the widest
+#: inner-sampling figure (startup CDFs), and the HAP table.
+LOWERING_FIGURES = ("fig05", "fig13", "fig18")
+
+GRID_METRIC_BACKENDS = ("serial", "process", "remote-loopback")
+STORE_METRIC_TIERS = ("local", "remote")
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """One benchmark metric: raw samples plus summary statistics.
+
+    ``key`` is stable across runs (``family/variant``), ``samples`` are
+    the per-repeat measurements in collection order; median is the
+    headline number (robust to a single noisy sample on shared CI
+    machines) and stdev the spread.
+    """
+
+    key: str
+    unit: str
+    higher_is_better: bool
+    samples: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError(f"metric {self.key!r} has no samples")
+
+    @property
+    def median(self) -> float:
+        return float(statistics.median(self.samples))
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return float(statistics.stdev(self.samples))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "samples": list(self.samples),
+            "median": self.median,
+            "stdev": self.stdev,
+        }
+
+    @classmethod
+    def from_dict(cls, key: str, payload: dict[str, Any]) -> "MetricSeries":
+        return cls(
+            key=key,
+            unit=str(payload["unit"]),
+            higher_is_better=bool(payload["higher_is_better"]),
+            samples=tuple(float(v) for v in payload["samples"]),
+        )
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One metric's verdict from the soft regression gate."""
+
+    metric: str
+    #: ``improved`` | ``ok`` | ``regressed`` | ``missing-baseline`` | ``new-metric``
+    status: str
+    #: current median / baseline median (None when no baseline number exists).
+    ratio: float | None
+    message: str
+
+
+def metric_keys(quick: bool = True) -> list[str]:
+    """The exact metric keys a trajectory run emits, in order.
+
+    Deterministic by construction — tests and the schema gate rely on a
+    run producing precisely these keys (``quick`` currently changes
+    sample counts, not the key set).
+    """
+    del quick
+    keys = [f"grid_cells_per_s/{backend}" for backend in GRID_METRIC_BACKENDS]
+    keys += [f"store_queries_per_s/{tier}" for tier in STORE_METRIC_TIERS]
+    keys += [f"lowering_ms/{figure}" for figure in LOWERING_FIGURES]
+    return keys
+
+
+def fingerprint() -> dict[str, Any]:
+    """The machine identity recorded with every trajectory file.
+
+    Informational, not part of any gate: numbers are only comparable
+    between files whose fingerprints match, and the gate message says so
+    when they don't.
+    """
+    import os
+
+    return {
+        "platform": platform_module.platform(),
+        "machine": platform_module.machine(),
+        "python": platform_module.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_revision(root: str | pathlib.Path = ".") -> str | None:
+    """The checkout's HEAD revision, or None outside a git work tree."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+# --- measurement -----------------------------------------------------------------
+
+
+def _timed(action: Callable[[], Any]) -> float:
+    start = time.perf_counter()
+    action()
+    return time.perf_counter() - start
+
+
+def _sample(action: Callable[[], Any], repeats: int) -> list[float]:
+    """One untimed warmup, then ``repeats`` timed runs."""
+    action()
+    return [_timed(action) for _ in range(repeats)]
+
+
+def _measure_grid(seed: int, repeats: int, repetitions: int) -> Iterator[MetricSeries]:
+    """Cells/second through the lowered grid, per backend.
+
+    Each sample lowers a fresh grid (streams are consumed by execution,
+    and lowering is itself measured separately) and dispatches it through
+    the backend's mapper in the single call production uses. The process
+    pool and the loopback fleet are created once and warmed before
+    timing, so the rates reflect steady-state dispatch, not pool startup.
+    """
+    plan = build_plan(GRID_FIGURE, repetitions=repetitions)
+    width = plan.lower(seed).width
+
+    def execute_with(mapper) -> Callable[[], None]:
+        def action() -> None:
+            build_plan(GRID_FIGURE, repetitions=repetitions).lower(seed).execute(mapper)
+
+        return action
+
+    # Serial: the in-process baseline every backend is compared against.
+    seconds = _sample(execute_with(None), repeats)
+    yield MetricSeries(
+        "grid_cells_per_s/serial", "cells/s", True,
+        tuple(width / value for value in seconds),
+    )
+
+    process_mapper = grid_mapper("process", jobs=2)
+    try:
+        seconds = _sample(execute_with(process_mapper), repeats)
+    finally:
+        process_mapper.close()
+    yield MetricSeries(
+        "grid_cells_per_s/process", "cells/s", True,
+        tuple(width / value for value in seconds),
+    )
+
+    with WorkerServer(host="127.0.0.1", port=0, workers=2) as server:
+        remote_mapper = grid_mapper("remote", jobs=1, workers=[server.address_string])
+        try:
+            seconds = _sample(execute_with(remote_mapper), repeats)
+        finally:
+            remote_mapper.close()
+    yield MetricSeries(
+        "grid_cells_per_s/remote-loopback", "cells/s", True,
+        tuple(width / value for value in seconds),
+    )
+
+
+def _measure_store(seed: int, repeats: int, queries: int) -> Iterator[MetricSeries]:
+    """Warm-hit queries/second against the local and remote store tiers.
+
+    A real (small) figure result is stored once; the timed loop then
+    re-reads it ``queries`` times — the exact read-through path a warm
+    rerun takes, including JSON decode and digest validation.
+    """
+    result = run_figure(GRID_FIGURE, seed, repetitions=2)
+    key = StoreKey.for_run(GRID_FIGURE, seed, True, {"repetitions": 2})
+
+    def read_loop(store) -> Callable[[], None]:
+        def action() -> None:
+            for _ in range(queries):
+                if store.get(key) is None:
+                    raise ConfigurationError(
+                        "perf harness: warm store read missed — store broken"
+                    )
+
+        return action
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-local-") as local_dir:
+        store = ResultStore(local_dir)
+        store.put(key, result)
+        seconds = _sample(read_loop(store), repeats)
+    yield MetricSeries(
+        "store_queries_per_s/local", "queries/s", True,
+        tuple(queries / value for value in seconds),
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-remote-") as remote_dir:
+        with StoreServer(host="127.0.0.1", port=0, root=remote_dir) as server:
+            with RemoteStore(server.address_string) as remote:
+                remote.put(key, result)
+                seconds = _sample(read_loop(remote), repeats)
+    yield MetricSeries(
+        "store_queries_per_s/remote", "queries/s", True,
+        tuple(queries / value for value in seconds),
+    )
+
+
+def _measure_lowering(seed: int, repeats: int) -> Iterator[MetricSeries]:
+    """Milliseconds to lower each representative figure plan."""
+    for figure_id in LOWERING_FIGURES:
+        def lower_once(figure_id: str = figure_id) -> None:
+            build_plan(figure_id).lower(seed)
+
+        seconds = _sample(lower_once, repeats)
+        yield MetricSeries(
+            f"lowering_ms/{figure_id}", "ms", False,
+            tuple(value * 1000.0 for value in seconds),
+        )
+
+
+def run_trajectory(
+    pr: int = CURRENT_PR,
+    *,
+    quick: bool = True,
+    seed: int = 42,
+    repeats: int | None = None,
+    root: str | pathlib.Path = ".",
+) -> dict[str, Any]:
+    """Measure everything and return the BENCH payload (nothing written).
+
+    ``quick`` (the CI mode) takes 3 samples per metric on a small grid;
+    full mode takes 5 on the production-sized grid. ``repeats``
+    overrides the sample count either way.
+    """
+    if pr < 1:
+        raise ConfigurationError(f"pr must be >= 1, got {pr}")
+    repeats = repeats if repeats is not None else (3 if quick else 5)
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    repetitions = 4 if quick else 10
+    queries = 200 if quick else 1000
+
+    metrics: list[MetricSeries] = []
+    metrics.extend(_measure_grid(seed, repeats, repetitions))
+    metrics.extend(_measure_store(seed, repeats, queries))
+    metrics.extend(_measure_lowering(seed, repeats))
+
+    produced = [metric.key for metric in metrics]
+    expected = metric_keys(quick)
+    if produced != expected:  # defensive: the schema gate's first line
+        raise ConfigurationError(
+            f"perf harness emitted unexpected metric keys: {produced}"
+        )
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "pr": pr,
+        "created_unix": time.time(),
+        "git_rev": git_revision(root),
+        "quick": quick,
+        "seed": seed,
+        "machine": fingerprint(),
+        "metrics": {metric.key: metric.to_dict() for metric in metrics},
+    }
+
+
+# --- persistence + schema --------------------------------------------------------
+
+
+def bench_filename(pr: int) -> str:
+    """The canonical trajectory filename for one PR."""
+    return f"BENCH_{pr}.json"
+
+
+def write_trajectory(payload: dict[str, Any], path: str | pathlib.Path) -> pathlib.Path:
+    """Validate and write a BENCH payload (stable field order, trailing \\n)."""
+    validate_payload(payload)
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_trajectory(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read and validate a BENCH file; loud on drift or corruption."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trajectory file {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"trajectory file {path} is not JSON: {exc}") from None
+    validate_payload(payload)
+    return payload
+
+
+def validate_payload(payload: dict[str, Any]) -> None:
+    """Raise :class:`ConfigurationError` unless ``payload`` matches the schema.
+
+    This is the *hard* gate CI applies — a BENCH file either carries the
+    documented structure (schema version, machine fingerprint, the three
+    metric families with samples/median/stdev) or the build fails.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("trajectory payload must be a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"trajectory schema {payload.get('schema')!r} != "
+            f"expected {BENCH_SCHEMA_VERSION} (schema drift)"
+        )
+    for field in ("pr", "created_unix", "quick", "seed", "machine", "metrics"):
+        if field not in payload:
+            raise ConfigurationError(f"trajectory payload missing field {field!r}")
+    if not isinstance(payload["pr"], int) or payload["pr"] < 1:
+        raise ConfigurationError("trajectory 'pr' must be a positive integer")
+    machine = payload["machine"]
+    if not isinstance(machine, dict) or not {
+        "platform", "machine", "python", "cpu_count"
+    } <= set(machine):
+        raise ConfigurationError("trajectory 'machine' fingerprint incomplete")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise ConfigurationError("trajectory 'metrics' must be a non-empty object")
+    for key, entry in metrics.items():
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"metric {key!r} must be an object")
+        for field in ("unit", "higher_is_better", "samples", "median", "stdev"):
+            if field not in entry:
+                raise ConfigurationError(f"metric {key!r} missing field {field!r}")
+        samples = entry["samples"]
+        if (
+            not isinstance(samples, list)
+            or not samples
+            or not all(isinstance(v, (int, float)) for v in samples)
+        ):
+            raise ConfigurationError(
+                f"metric {key!r} 'samples' must be a non-empty number list"
+            )
+    families = {key.split("/", 1)[0] for key in metrics}
+    required = {"grid_cells_per_s", "store_queries_per_s", "lowering_ms"}
+    missing = required - families
+    if missing:
+        raise ConfigurationError(
+            f"trajectory missing metric families: {', '.join(sorted(missing))}"
+        )
+
+
+def previous_bench_path(
+    directory: str | pathlib.Path, pr: int
+) -> pathlib.Path | None:
+    """The newest ``BENCH_<k>.json`` with ``k < pr``, if any (the baseline)."""
+    best: tuple[int, pathlib.Path] | None = None
+    for path in pathlib.Path(directory).glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match is None:
+            continue
+        number = int(match.group(1))
+        if number < pr and (best is None or number > best[0]):
+            best = (number, path)
+    return best[1] if best else None
+
+
+# --- the soft regression gate ----------------------------------------------------
+
+
+def compare_trajectories(
+    current: dict[str, Any],
+    baseline: dict[str, Any] | None,
+    *,
+    tolerance: float = 0.20,
+) -> list[GateFinding]:
+    """Label every current metric against the baseline trajectory.
+
+    Soft by design: the findings are printed and shipped in the CI
+    artifact, never turned into a build failure — perf numbers from
+    shared CI machines are too noisy for a hard gate, and the raw
+    samples are recorded precisely so a human can judge a flagged
+    regression. A metric regresses/improves when its median moves more
+    than ``tolerance`` (relative) in the harmful/helpful direction.
+    """
+    if baseline is None:
+        return [
+            GateFinding(
+                metric="*",
+                status="missing-baseline",
+                ratio=None,
+                message="no previous BENCH_*.json found; trajectory starts here",
+            )
+        ]
+    findings: list[GateFinding] = []
+    same_machine = current.get("machine") == baseline.get("machine")
+    machine_note = "" if same_machine else " [different machine fingerprints]"
+    baseline_metrics = baseline.get("metrics", {})
+    for key, entry in current["metrics"].items():
+        previous = baseline_metrics.get(key)
+        if previous is None:
+            findings.append(
+                GateFinding(key, "new-metric", None, f"{key}: no baseline number")
+            )
+            continue
+        current_median = float(entry["median"])
+        baseline_median = float(previous["median"])
+        if baseline_median == 0.0:
+            findings.append(
+                GateFinding(key, "ok", None, f"{key}: baseline median is zero")
+            )
+            continue
+        ratio = current_median / baseline_median
+        higher_is_better = bool(entry["higher_is_better"])
+        gain = ratio if higher_is_better else 1.0 / ratio
+        if gain < 1.0 - tolerance:
+            status = "regressed"
+        elif gain > 1.0 + tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        findings.append(
+            GateFinding(
+                key,
+                status,
+                ratio,
+                f"{key}: {current_median:.6g} vs {baseline_median:.6g} {entry['unit']}"
+                f" (x{ratio:.2f}){machine_note}",
+            )
+        )
+    return findings
+
+
+def format_report(payload: dict[str, Any], findings: list[GateFinding]) -> str:
+    """Human-readable trajectory summary (what the CLI prints)."""
+    lines = [
+        f"perf trajectory: PR {payload['pr']}"
+        f" ({'quick' if payload['quick'] else 'full'} mode,"
+        f" seed {payload['seed']}, rev {(payload.get('git_rev') or 'unknown')[:12]})",
+        f"{'metric':<34} {'median':>12} {'stdev':>10} unit",
+        "-" * 72,
+    ]
+    for key, entry in payload["metrics"].items():
+        lines.append(
+            f"{key:<34} {entry['median']:>12.2f} {entry['stdev']:>10.2f} "
+            f"{entry['unit']}"
+        )
+    lines.append("-" * 72)
+    for finding in findings:
+        lines.append(f"gate[{finding.status}] {finding.message}")
+    return "\n".join(lines)
+
+
+# --- CLI -------------------------------------------------------------------------
+
+
+def run_perf_command(args: Any) -> int:
+    """Shared implementation behind ``repro-bench perf`` and the script.
+
+    ``--check`` only validates an existing file (the CI schema gate);
+    otherwise the trajectory is measured, compared against the baseline
+    (auto-discovered previous ``BENCH_*.json`` unless ``--baseline``),
+    written to ``--output``, and summarized. Exit status is 0 even on
+    regressions (soft gate) — only schema drift and harness errors fail.
+    """
+    if getattr(args, "check", None):
+        load_trajectory(args.check)
+        print(f"{args.check}: schema v{BENCH_SCHEMA_VERSION} OK")
+        return 0
+    payload = run_trajectory(
+        args.pr,
+        quick=not getattr(args, "full", False),
+        seed=args.seed,
+        repeats=getattr(args, "repeats", None),
+    )
+    output = pathlib.Path(args.output or bench_filename(args.pr))
+    baseline_path = getattr(args, "baseline", None)
+    if baseline_path is None:
+        baseline_path = previous_bench_path(output.parent or pathlib.Path("."), args.pr)
+    baseline = load_trajectory(baseline_path) if baseline_path else None
+    findings = compare_trajectories(payload, baseline, tolerance=args.tolerance)
+    write_trajectory(payload, output)
+    print(format_report(payload, findings))
+    print(f"wrote {output}")
+    return 0
+
+
+def add_perf_arguments(parser: Any) -> None:
+    """Attach the perf subcommand's arguments to an argparse parser."""
+    parser.add_argument(
+        "--pr", type=int, default=CURRENT_PR, metavar="N",
+        help=f"trajectory number; writes BENCH_<N>.json (default: {CURRENT_PR})",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="output file (default: BENCH_<pr>.json in the current directory)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline BENCH file to gate against (default: newest "
+             "BENCH_<k>.json with k < pr next to the output)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="production-sized grid and more samples (default: quick mode)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="samples per metric (default: 3 quick, 5 full)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20, metavar="T",
+        help="relative median change treated as noise by the gate "
+             "(default: 0.20)",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="validate an existing BENCH file against the schema and exit",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python benchmarks/perf_trajectory.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="perf_trajectory",
+        description="Measure the repo's perf trajectory into BENCH_<pr>.json.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    add_perf_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_perf_command(args)
+    except ConfigurationError as exc:
+        print(f"perf_trajectory: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

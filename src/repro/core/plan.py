@@ -43,6 +43,7 @@ from repro.core.stats import Summary, summarize
 from repro.errors import ConfigurationError, UnsupportedOperationError
 from repro.platforms import get_platform
 from repro.platforms.base import Platform
+from repro.rng import materialize_streams
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -373,7 +374,11 @@ class FigurePlan:
         Stream derivation matches the historical per-platform loops
         exactly: split specs use :meth:`Runner.rep_streams`, whole-stream
         specs use :meth:`Runner.stream_for` — so plan execution is
-        bit-identical to the pre-plan figures.
+        bit-identical to the pre-plan figures. After the grid is built,
+        every cell stream is seeded in one vectorized
+        :func:`~repro.rng.materialize_streams` pass (a pure speed-up:
+        seeding depends only on each stream's derived seed, never on
+        batch order).
         """
         runner = Runner(seed, self.scope)
         cells: list[GridCell] = []
@@ -396,6 +401,7 @@ class FigurePlan:
                         GridCell(spec.key, name, index,
                                  RepJob(spec.workload, platform, stream))
                     )
+        materialize_streams([cell.job.stream for cell in cells])
         return LoweredGrid(self.figure_id, seed, self.specs, cells, exclusions)
 
     def assemble(self, outcome: GridOutcome) -> FigureResult:

@@ -38,7 +38,7 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.core.stats import Summary, summarize
 from repro.errors import ConfigurationError
 from repro.platforms.base import Platform
-from repro.rng import RngStream, derive_seed
+from repro.rng import RngStream, derive_seed, materialize_streams
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -149,6 +149,10 @@ def grid_mapper(
     reassembly. A width of one collapses the local pool backends to the
     serial map; the remote backend's parallelism is the fleet's, so
     ``jobs`` does not apply to it.
+
+    Every backend produces bit-identical results for the same grid —
+    cell streams are derived before dispatch and every mapper preserves
+    input order (see ``docs/ARCHITECTURE.md``).
     """
     if backend not in GRID_BACKENDS:
         raise ConfigurationError(
@@ -230,11 +234,19 @@ class Runner:
     def rep_streams(
         self, platform: Platform, repetitions: int, tag: str = ""
     ) -> list[RngStream]:
-        """One independent pre-derived stream per repetition."""
+        """One independent pre-derived stream per repetition.
+
+        The streams are batch-derived (one keyed-hash pass) and batch-seeded
+        (:func:`~repro.rng.materialize_streams`), so wide grids pay one
+        vectorized seeding pass instead of one SeedSequence per repetition.
+        The draws are bit-identical to per-rep derivation either way.
+        """
         if repetitions < 1:
             raise ConfigurationError("repetitions must be >= 1")
         stream = self.stream_for(platform, tag)
-        return [stream.child(f"rep-{index}") for index in range(repetitions)]
+        streams = stream.children(f"rep-{index}" for index in range(repetitions))
+        materialize_streams(streams)
+        return streams
 
     def repeat(
         self,

@@ -82,8 +82,8 @@ class ExecutionPolicy:
     a process pool; the *grid* level (``grid_jobs``/``grid_backend``) is a
     single worker budget for everything inside one figure — the whole
     lowered ``(platform, rep)`` grid fans over one shared thread or
-    process pool instead of per-platform repetition batches (this unifies
-    the former ``rep_jobs``/``rep_backend`` pair). The two levels compose:
+    process pool instead of per-platform repetition batches. The two
+    levels compose:
     a figure pool worker installs the grid mapper in its own process, so
     ``jobs=4, grid_jobs=2`` runs four figures at once, each with a
     two-worker grid pool.
@@ -107,6 +107,10 @@ class ExecutionPolicy:
     through and writes back to (``host:port`` of a ``repro-bench store``
     server, see :mod:`repro.core.storenet`) — like the worker roster,
     *where* cached results live is deployment policy, not code.
+
+    ``docs/ARCHITECTURE.md`` diagrams where the policy sits in the run
+    path; ``docs/OPERATIONS.md`` is the runbook for the fleet pieces it
+    names.
     """
 
     jobs: int = 1

@@ -138,7 +138,17 @@ class StoreKey:
 
 
 class ResultStore:
-    """On-disk cache of figure results, addressed by :class:`StoreKey`."""
+    """On-disk cache of figure results, addressed by :class:`StoreKey`.
+
+    ``get`` returns the cached :class:`~repro.core.results.FigureResult`
+    or ``None`` (corrupt and stale-schema entries behave like misses);
+    ``put`` is an atomic write safe under concurrent writers. With
+    ``max_bytes`` set, writes evict least-recently-*read* entries until
+    the directory fits. This is the local tier; a fleet composes it with
+    a :class:`~repro.core.storenet.RemoteStore` via
+    :class:`~repro.core.storenet.TieredStore` (cache semantics and the
+    provenance labels are documented in ``docs/OPERATIONS.md``).
+    """
 
     #: Init-time sweep ignores temps younger than this: a put() holds its
     #: temp for milliseconds, so anything older is an orphan, while an

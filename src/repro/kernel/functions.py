@@ -22,12 +22,13 @@ and machines.
 from __future__ import annotations
 
 import enum
+import functools
 import hashlib
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Subsystem", "KernelFunction", "KernelFunctionCatalog"]
+__all__ = ["Subsystem", "KernelFunction", "KernelFunctionCatalog", "default_catalog"]
 
 
 class Subsystem(enum.Enum):
@@ -311,3 +312,17 @@ class KernelFunctionCatalog:
     def all_functions(self) -> list[KernelFunction]:
         """Every function in the catalog (subsystem-major, rank order)."""
         return [fn for fns in self._by_subsystem.values() for fn in fns]
+
+
+@functools.lru_cache(maxsize=8)
+def default_catalog(scale: float = 1.0) -> KernelFunctionCatalog:
+    """The shared catalog for a given scale (memoized).
+
+    Catalog construction is pure — the name expansion depends only on the
+    static subsystem specs and ``scale`` — yet building the ~6k-name
+    inventory dominates a HAP cell's runtime when done per cell. Consumers
+    that do not mutate the catalog (all of ours; the public API is
+    read-only) should take this shared instance instead of constructing
+    :class:`KernelFunctionCatalog` directly.
+    """
+    return KernelFunctionCatalog(scale)

@@ -17,6 +17,7 @@ and two classic overlay behaviours worth testing:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -55,8 +56,14 @@ class ContainerImage:
         return sum(layer.size_bytes for layer in self.layers)
 
     @classmethod
+    @functools.lru_cache(maxsize=64)
     def typical(cls, name: str = "ubuntu-app", layer_count: int = 6) -> "ContainerImage":
-        """A representative application image (base OS + runtime + app)."""
+        """A representative application image (base OS + runtime + app).
+
+        Memoized: the image is a frozen pure function of its arguments and
+        is rebuilt by every container-startup cell; one shared instance per
+        ``(name, layer_count)`` serves them all.
+        """
         if layer_count < 1:
             raise ConfigurationError("need at least one layer")
         layers = tuple(

@@ -12,6 +12,7 @@ carry systematically higher mass — matching how CVE density concentrates.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 
 from repro.kernel.functions import KernelFunction, Subsystem
@@ -59,8 +60,14 @@ class EpssModel:
         self.base_scale = base_scale
 
     @staticmethod
+    @functools.lru_cache(maxsize=65536)
     def _unit_draw(name: str) -> float:
-        """A stable uniform draw in (0, 1] derived from the function name."""
+        """A stable uniform draw in (0, 1] derived from the function name.
+
+        Memoized: the draw is a pure function of the name, and every HAP
+        cell re-scores the same ~6k catalog names, so the hash runs once
+        per name per process instead of once per (cell, name).
+        """
         digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
         return (int.from_bytes(digest, "little") + 1) / float(1 << 64)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.kernel.ftrace import FtraceReport
-from repro.kernel.functions import KernelFunctionCatalog, Subsystem
+from repro.kernel.functions import KernelFunctionCatalog, Subsystem, default_catalog
 from repro.platforms.base import Platform
 from repro.security.epss import EpssModel
 from repro.security.profiles import HAP_WORKLOADS, trace_platform
@@ -45,7 +45,7 @@ def measure_hap(
     workloads: tuple[str, ...] = HAP_WORKLOADS,
 ) -> HapScore:
     """Trace the platform across the Section 4 workloads and score it."""
-    catalog = catalog if catalog is not None else KernelFunctionCatalog()
+    catalog = catalog if catalog is not None else default_catalog()
     epss = epss if epss is not None else EpssModel()
     report: FtraceReport = trace_platform(platform, catalog, workloads)
     functions = report.functions()
@@ -72,7 +72,7 @@ def measure_hap_per_workload(
     :func:`measure_hap` result (breadth prefixes overlap across
     workloads).
     """
-    catalog = catalog if catalog is not None else KernelFunctionCatalog()
+    catalog = catalog if catalog is not None else default_catalog()
     epss = epss if epss is not None else EpssModel()
     breakdown: dict[str, HapScore] = {}
     for workload in workloads:

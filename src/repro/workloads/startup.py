@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.platforms.base import BootPhase, Platform
-from repro.rng import RngStream
+from repro.rng import RngStream, materialize_streams
 from repro.simcore.engine import Simulator, Timeout
 from repro.units import seconds_to_ms
 from repro.workloads.base import Workload
@@ -79,10 +79,15 @@ class StartupResult:
         return ordered, [(index + 1) / count for index in range(count)]
 
 
-def _boot_process(phases: list[BootPhase], rng: RngStream):
-    """DES process: run each boot phase in sequence."""
-    for phase in phases:
-        yield Timeout(phase.sample(rng.child(phase.name)))
+def _boot_process(phases: list[BootPhase], phase_streams: list[RngStream]):
+    """DES process: run each boot phase in sequence.
+
+    ``phase_streams`` holds one pre-derived stream per phase (the
+    ``rng.child(phase.name)`` children, batch-derived by the caller so a
+    whole run's streams can be seeded in one vectorized pass).
+    """
+    for phase, stream in zip(phases, phase_streams):
+        yield Timeout(phase.sample(stream))
     return None
 
 
@@ -105,11 +110,22 @@ class StartupWorkload(Workload):
         phases = platform.boot_phases()
         if self.method is MeasurementMethod.STDOUT_GREP:
             phases = [p for p in phases if p.name not in _TERMINATION_PHASES]
+        # Derive every (startup, phase) stream up front: the derivation is
+        # pure hashing, so the order cannot change any draw, and handing the
+        # full batch to materialize_streams seeds all ~startups x phases
+        # generators in one vectorized pass instead of one by one.
+        phase_names = [phase.name for phase in phases]
+        run_streams = rng.children(
+            [f"startup-{index}" for index in range(self.startups)]
+        )
+        phase_streams = [run.children(phase_names) for run in run_streams]
+        materialize_streams([s for streams in phase_streams for s in streams])
         samples: list[float] = []
         for index in range(self.startups):
             simulator = Simulator()
-            run_rng = rng.child(f"startup-{index}")
-            simulator.run_process(_boot_process(phases, run_rng), name=f"boot-{index}")
+            simulator.run_process(
+                _boot_process(phases, phase_streams[index]), name=f"boot-{index}"
+            )
             samples.append(simulator.now)
         return StartupResult(
             platform=platform.name,

@@ -1,0 +1,312 @@
+"""Tests for the perf trajectory harness (BENCH_<pr>.json)."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.core.perf import (
+    BENCH_SCHEMA_VERSION,
+    CURRENT_PR,
+    GateFinding,
+    MetricSeries,
+    add_perf_arguments,
+    bench_filename,
+    compare_trajectories,
+    format_report,
+    load_trajectory,
+    metric_keys,
+    previous_bench_path,
+    run_perf_command,
+    run_trajectory,
+    validate_payload,
+    write_trajectory,
+)
+from repro.errors import ConfigurationError
+
+
+def fake_payload(
+    pr: int = CURRENT_PR,
+    metrics: dict[str, dict] | None = None,
+    machine: dict | None = None,
+) -> dict:
+    """A structurally valid BENCH payload without running any benchmark."""
+    if metrics is None:
+        metrics = {
+            key: {
+                "unit": "x/s",
+                "higher_is_better": not key.startswith("lowering_ms/"),
+                "samples": [10.0, 11.0, 12.0],
+                "median": 11.0,
+                "stdev": 1.0,
+            }
+            for key in metric_keys()
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "pr": pr,
+        "created_unix": 1_700_000_000.0,
+        "git_rev": "0" * 40,
+        "quick": True,
+        "seed": 42,
+        "machine": machine
+        or {"platform": "test", "machine": "x86_64", "python": "3.12", "cpu_count": 4},
+        "metrics": metrics,
+    }
+
+
+def scaled(payload: dict, key: str, factor: float) -> dict:
+    """Copy of ``payload`` with one metric's numbers scaled by ``factor``."""
+    copy = json.loads(json.dumps(payload))
+    entry = copy["metrics"][key]
+    entry["samples"] = [value * factor for value in entry["samples"]]
+    entry["median"] *= factor
+    return copy
+
+
+class TestMetricSeries:
+    def test_summary_statistics(self):
+        series = MetricSeries("k", "x/s", True, (3.0, 1.0, 2.0))
+        assert series.median == 2.0
+        assert series.stdev == 1.0
+
+    def test_single_sample_has_zero_stdev(self):
+        assert MetricSeries("k", "x/s", True, (5.0,)).stdev == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricSeries("k", "x/s", True, ())
+
+    def test_dict_round_trip(self):
+        series = MetricSeries("k", "ms", False, (1.5, 2.5))
+        again = MetricSeries.from_dict("k", series.to_dict())
+        assert again == series
+
+
+class TestMetricKeys:
+    def test_deterministic(self):
+        assert metric_keys() == metric_keys()
+        assert metric_keys(quick=True) == metric_keys(quick=False)
+
+    def test_covers_all_three_families(self):
+        families = {key.split("/", 1)[0] for key in metric_keys()}
+        assert families == {"grid_cells_per_s", "store_queries_per_s", "lowering_ms"}
+
+    def test_grid_backends_include_serial_process_remote(self):
+        keys = metric_keys()
+        for backend in ("serial", "process", "remote-loopback"):
+            assert f"grid_cells_per_s/{backend}" in keys
+
+
+class TestSchema:
+    def test_fake_payload_validates(self):
+        validate_payload(fake_payload())
+
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / bench_filename(6)
+        write_trajectory(fake_payload(), path)
+        loaded = load_trajectory(path)
+        assert loaded == fake_payload()
+
+    def test_schema_drift_is_loud(self, tmp_path):
+        payload = fake_payload()
+        payload["schema"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="schema drift"):
+            validate_payload(payload)
+
+    def test_missing_field_rejected(self):
+        payload = fake_payload()
+        del payload["machine"]
+        with pytest.raises(ConfigurationError, match="machine"):
+            validate_payload(payload)
+
+    def test_incomplete_fingerprint_rejected(self):
+        payload = fake_payload(machine={"platform": "test"})
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            validate_payload(payload)
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            validate_payload(fake_payload(metrics={}))
+
+    def test_metric_missing_samples_rejected(self):
+        payload = fake_payload()
+        del payload["metrics"]["lowering_ms/fig05"]["samples"]
+        with pytest.raises(ConfigurationError, match="samples"):
+            validate_payload(payload)
+
+    def test_missing_metric_family_rejected(self):
+        payload = fake_payload()
+        payload["metrics"] = {
+            key: entry
+            for key, entry in payload["metrics"].items()
+            if not key.startswith("store_queries_per_s/")
+        }
+        with pytest.raises(ConfigurationError, match="store_queries_per_s"):
+            validate_payload(payload)
+
+    def test_unreadable_file_is_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_trajectory(tmp_path / "absent.json")
+
+    def test_non_json_file_is_configuration_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            load_trajectory(path)
+
+
+class TestRegressionGate:
+    def test_missing_baseline(self):
+        findings = compare_trajectories(fake_payload(), None)
+        assert [finding.status for finding in findings] == ["missing-baseline"]
+
+    def test_everything_ok_against_itself(self):
+        payload = fake_payload()
+        findings = compare_trajectories(payload, payload)
+        assert {finding.status for finding in findings} == {"ok"}
+        assert len(findings) == len(metric_keys())
+
+    def test_improvement_detected(self):
+        baseline = fake_payload()
+        current = scaled(baseline, "grid_cells_per_s/serial", 2.0)
+        by_metric = {
+            f.metric: f.status for f in compare_trajectories(current, baseline)
+        }
+        assert by_metric["grid_cells_per_s/serial"] == "improved"
+        assert by_metric["grid_cells_per_s/process"] == "ok"
+
+    def test_regression_detected(self):
+        baseline = fake_payload()
+        current = scaled(baseline, "grid_cells_per_s/serial", 0.5)
+        by_metric = {
+            f.metric: f.status for f in compare_trajectories(current, baseline)
+        }
+        assert by_metric["grid_cells_per_s/serial"] == "regressed"
+
+    def test_lower_is_better_direction(self):
+        # lowering_ms getting *larger* is the regression.
+        baseline = fake_payload()
+        slower = scaled(baseline, "lowering_ms/fig05", 2.0)
+        faster = scaled(baseline, "lowering_ms/fig05", 0.5)
+        assert {
+            f.metric: f.status for f in compare_trajectories(slower, baseline)
+        }["lowering_ms/fig05"] == "regressed"
+        assert {
+            f.metric: f.status for f in compare_trajectories(faster, baseline)
+        }["lowering_ms/fig05"] == "improved"
+
+    def test_within_tolerance_is_ok(self):
+        baseline = fake_payload()
+        current = scaled(baseline, "grid_cells_per_s/serial", 1.1)
+        statuses = {
+            f.metric: f.status
+            for f in compare_trajectories(current, baseline, tolerance=0.20)
+        }
+        assert statuses["grid_cells_per_s/serial"] == "ok"
+
+    def test_new_metric_flagged(self):
+        baseline = fake_payload()
+        del baseline["metrics"]["lowering_ms/fig18"]
+        by_metric = {
+            f.metric: f.status for f in compare_trajectories(fake_payload(), baseline)
+        }
+        assert by_metric["lowering_ms/fig18"] == "new-metric"
+
+    def test_different_machines_noted(self):
+        baseline = fake_payload(
+            machine={"platform": "other", "machine": "arm64", "python": "3.11",
+                     "cpu_count": 2}
+        )
+        findings = compare_trajectories(fake_payload(), baseline)
+        assert all("different machine" in f.message for f in findings
+                   if f.status != "new-metric")
+
+    def test_report_mentions_gate_lines(self):
+        payload = fake_payload()
+        findings = [GateFinding("m", "ok", 1.0, "m: fine")]
+        report = format_report(payload, findings)
+        assert "gate[ok] m: fine" in report
+        assert f"PR {CURRENT_PR}" in report
+
+
+class TestPreviousBenchPath:
+    def test_picks_newest_below_pr(self, tmp_path):
+        for number in (3, 4, 5, 6, 7):
+            (tmp_path / f"BENCH_{number}.json").write_text("{}")
+        (tmp_path / "BENCH_smoke.json").write_text("{}")
+        found = previous_bench_path(tmp_path, 6)
+        assert found is not None and found.name == "BENCH_5.json"
+
+    def test_none_when_no_candidates(self, tmp_path):
+        (tmp_path / "BENCH_6.json").write_text("{}")
+        assert previous_bench_path(tmp_path, 6) is None
+
+
+class TestSmokeRun:
+    """One real (tiny) trajectory measurement — the expensive test."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_trajectory(6, quick=True, repeats=1)
+
+    def test_payload_validates_and_has_all_keys(self, payload):
+        validate_payload(payload)
+        assert list(payload["metrics"]) == metric_keys()
+
+    def test_rates_are_positive(self, payload):
+        for key, entry in payload["metrics"].items():
+            assert entry["median"] > 0.0, key
+
+    def test_fingerprint_and_revision_recorded(self, payload):
+        assert payload["machine"]["cpu_count"] >= 1
+        assert payload["pr"] == 6
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_trajectory(0)
+        with pytest.raises(ConfigurationError):
+            run_trajectory(6, repeats=0)
+
+
+class TestCommand:
+    def parse(self, *argv: str) -> argparse.Namespace:
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--seed", type=int, default=42)
+        add_perf_arguments(parser)
+        return parser.parse_args(list(argv))
+
+    def test_check_mode_validates(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_6.json"
+        write_trajectory(fake_payload(), path)
+        assert run_perf_command(self.parse("--check", str(path))) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_mode_fails_on_drift(self, tmp_path):
+        payload = fake_payload()
+        payload["schema"] = 99
+        path = tmp_path / "BENCH_6.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="schema drift"):
+            run_perf_command(self.parse("--check", str(path)))
+
+    def test_full_run_writes_and_gates(self, tmp_path, capsys, monkeypatch):
+        # Patch the measurement so the CLI path is tested without a rerun.
+        import repro.core.perf as perf
+
+        monkeypatch.setattr(
+            perf, "run_trajectory",
+            lambda pr, *, quick, seed, repeats: fake_payload(pr),
+        )
+        baseline = tmp_path / "BENCH_5.json"
+        write_trajectory(scaled(fake_payload(5), "grid_cells_per_s/serial", 0.5),
+                         baseline)
+        output = tmp_path / "BENCH_6.json"
+        args = self.parse("--pr", "6", "--output", str(output))
+        assert run_perf_command(args) == 0
+        out = capsys.readouterr().out
+        assert "gate[improved] grid_cells_per_s/serial" in out
+        assert output.exists()
+        validate_payload(json.loads(output.read_text()))
