@@ -1,0 +1,112 @@
+"""The committed findings baseline: adopt-now, ratchet-down.
+
+A static analyzer added to a mature tree faces a choice: fix every
+pre-existing finding in the adopting PR, or let the gate ignore what it
+has already seen and fail only on *new* findings. The baseline file
+(``analysis-baseline.json``, committed at the repo root) implements the
+second: every entry is a drift-stable fingerprint (see
+:mod:`repro.analysis.findings`) of one accepted finding, plus enough
+human-readable context to review it. ``repro-bench lint
+--update-baseline`` rewrites the file from the current tree; entries
+whose finding disappears become *stale* and are reported so the file
+only ever shrinks outside deliberate expansions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis.findings import Finding, fingerprint_findings
+
+__all__ = ["Baseline", "BaselineResult", "BASELINE_SCHEMA"]
+
+BASELINE_SCHEMA = 1
+
+#: Default committed location, relative to the lint working directory.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    new: list[Finding]
+    suppressed: list[Finding]
+    stale: list[dict[str, Any]]
+
+
+@dataclass
+class Baseline:
+    """Fingerprint-keyed set of accepted findings."""
+
+    entries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    path: pathlib.Path | None = None
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = pathlib.Path(path)
+        if not path.is_file():
+            return cls(entries={}, path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"baseline {path} has schema {payload.get('schema')!r}, "
+                f"expected {BASELINE_SCHEMA} — regenerate with --update-baseline"
+            )
+        entries = {
+            entry["fingerprint"]: entry for entry in payload.get("findings", [])
+        }
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries = {}
+        for fingerprint, finding in fingerprint_findings(findings):
+            entry = finding.to_dict()
+            entry["fingerprint"] = fingerprint
+            entries[fingerprint] = entry
+        return cls(entries=entries)
+
+    def filter(self, findings: Sequence[Finding]) -> BaselineResult:
+        """Split findings into new vs baselined; report stale entries."""
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        seen: set[str] = set()
+        for fingerprint, finding in fingerprint_findings(findings):
+            if fingerprint in self.entries:
+                suppressed.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in seen
+        ]
+        return BaselineResult(new=new, suppressed=suppressed, stale=stale)
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Persist, sorted by location for reviewable diffs."""
+        path = pathlib.Path(path)
+        ordered = sorted(
+            self.entries.values(),
+            key=lambda e: (e["path"], e["line"], e["col"], e["code"]),
+        )
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "comment": (
+                "Accepted pre-existing findings of `repro-bench lint` — "
+                "see docs/ANALYSIS.md. Regenerate with "
+                "`repro-bench lint <paths> --update-baseline`."
+            ),
+            "findings": ordered,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.entries)

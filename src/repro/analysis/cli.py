@@ -1,0 +1,196 @@
+"""``repro-bench lint`` / ``repro-lint``: the analyzer's command line.
+
+Usage::
+
+    repro-bench lint [paths ...]           # default: src (baseline applied)
+    repro-bench lint src tests benchmarks --warn-only
+    repro-bench lint src --format=json > analysis-report.json
+    repro-bench lint src tests benchmarks --update-baseline
+    repro-lint --list-rules                # standalone entry point
+
+Exit codes: 0 clean (or ``--warn-only``/``--update-baseline``), 1 new
+findings, 2 usage error. The committed ``analysis-baseline.json`` is
+applied automatically when present in the working directory; ``--no-
+baseline`` shows the unfiltered truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.framework import RULE_REGISTRY, Analyzer
+from repro.analysis import rules as _rules  # ensure registration  # noqa: F401
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+JSON_REPORT_SCHEMA = 1
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by repro-bench and repro-lint)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file of accepted findings "
+             f"(default: {DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report findings but always exit 0 (adoption/expansion mode)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _list_rules() -> int:
+    for code in sorted(RULE_REGISTRY):
+        rule = RULE_REGISTRY[code]
+        summary = (rule.__doc__ or "").strip().splitlines()[0]
+        print(f"{code}  {rule.name:<32} {summary}")
+    return 0
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    if args.list_rules:
+        return _list_rules()
+    selected = (
+        [code.strip().upper() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    try:
+        analyzer = Analyzer(rules=selected)
+        findings = analyzer.analyze(args.paths)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-bench lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        baseline = Baseline.from_findings(findings)
+        baseline.write(target)
+        print(f"baseline updated: {len(baseline)} finding(s) -> {target}")
+        return 0
+
+    baseline = Baseline(entries={})
+    if not args.no_baseline:
+        import pathlib
+
+        candidate = args.baseline or DEFAULT_BASELINE_NAME
+        if args.baseline or pathlib.Path(candidate).is_file():
+            try:
+                baseline = Baseline.load(candidate)
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"repro-bench lint: error: {exc}", file=sys.stderr)
+                return 2
+    result = baseline.filter(findings)
+    result.stale = _stale_under_paths(result.stale, args.paths)
+
+    if args.format == "json":
+        print(json.dumps(_json_report(args, result), indent=2, sort_keys=True))
+    else:
+        _text_report(result, warn_only=args.warn_only)
+    if args.warn_only:
+        return 0
+    return 1 if result.new else 0
+
+
+def _stale_under_paths(stale: list[dict], paths: list[str]) -> list[dict]:
+    """Only entries the current targets could have re-found count as stale.
+
+    ``lint src`` must not report every tests/benchmarks baseline entry as
+    stale merely because those trees were not analyzed this run.
+    """
+    import pathlib
+
+    cwd = pathlib.Path.cwd().resolve()
+    prefixes = []
+    for raw in paths:
+        resolved = pathlib.Path(raw).resolve()
+        try:
+            prefixes.append(resolved.relative_to(cwd).as_posix())
+        except ValueError:
+            prefixes.append(pathlib.Path(raw).as_posix())
+    return [
+        entry
+        for entry in stale
+        if any(
+            entry["path"] == prefix or entry["path"].startswith(prefix + "/")
+            for prefix in prefixes
+        )
+    ]
+
+
+def _json_report(args: argparse.Namespace, result) -> dict:
+    counts: dict[str, int] = {}
+    for finding in result.new:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return {
+        "schema": JSON_REPORT_SCHEMA,
+        "paths": list(args.paths),
+        "findings": [finding.to_dict() for finding in result.new],
+        "counts": counts,
+        "baseline": {
+            "suppressed": len(result.suppressed),
+            "stale": result.stale,
+        },
+        "warn_only": bool(args.warn_only),
+    }
+
+
+def _text_report(result, *, warn_only: bool) -> None:
+    for finding in result.new:
+        print(finding.format())
+    for entry in result.stale:
+        print(
+            f"note: stale baseline entry {entry['fingerprint']} "
+            f"({entry['code']} at {entry['path']}) no longer fires — "
+            f"run --update-baseline to drop it"
+        )
+    if result.new:
+        label = "warning(s)" if warn_only else "finding(s)"
+        print(
+            f"repro-bench lint: {len(result.new)} {label} "
+            f"({len(result.suppressed)} baselined)"
+        )
+    else:
+        print(f"repro-bench lint: clean ({len(result.suppressed)} baselined)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The ``repro-lint`` console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & distribution-safety analyzer (see docs/ANALYSIS.md).",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The finding record and its drift-stable fingerprint.
+
+A :class:`Finding` is one rule violation at one source location. The
+baseline (``analysis-baseline.json``) must keep recognizing a finding as
+edits elsewhere in the file move it up and down, so the fingerprint
+deliberately excludes the line *number*: it hashes the file path, the
+rule code, the stripped text of the offending line, and an occurrence
+index among identical triples (two identical bad lines in one file get
+distinct fingerprints, in file order). This is the same stability
+trade-off ruff and flake8 baselines make — renaming the file or editing
+the offending line itself invalidates the entry, which is exactly when a
+human should re-triage it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Finding", "fingerprint_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: location, code, and a human-readable message.
+
+    ``line_text`` is the stripped source line the finding anchors to —
+    carried for fingerprinting and display, excluded from ordering so
+    sort order is purely positional.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: CODE message`` spelling."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (``--format=json`` and the baseline file)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def _fingerprint(path: str, code: str, line_text: str, occurrence: int) -> str:
+    payload = f"{path}\x00{code}\x00{line_text}\x00{occurrence}"
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding],
+) -> list[tuple[str, Finding]]:
+    """Pair every finding with its drift-stable fingerprint.
+
+    Findings are processed in positional order so the occurrence index of
+    repeated identical lines is deterministic.
+    """
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    seen: Counter[tuple[str, str, str]] = Counter()
+    fingerprinted = []
+    for finding in ordered:
+        triple = (finding.path, finding.code, finding.line_text)
+        fingerprinted.append(
+            (_fingerprint(*triple, occurrence=seen[triple]), finding)
+        )
+        seen[triple] += 1
+    return fingerprinted
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Positional order: path, line, column, code."""
+    return sorted(findings, key=lambda f: f.sort_key)

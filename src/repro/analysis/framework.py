@@ -1,0 +1,327 @@
+"""The checker framework: rule registry, module loading, and the driver.
+
+Rules come in two shapes:
+
+* **per-module** rules (``cross = False``) get one
+  :class:`ModuleSource` at a time and report findings local to it;
+* **cross-module** rules (``cross = True``) get the whole analyzed set
+  at once — protocol hygiene (RB104) needs to match a ``send_frame``
+  call in one place against handler arms that may live elsewhere.
+
+Rules self-register via :func:`register_rule` into :data:`RULE_REGISTRY`
+keyed by their ``RBxxx`` code; the :class:`Analyzer` runs every
+registered rule (or an explicit subset) over every ``.py`` file under
+the given paths, applies inline suppressions, and returns findings in
+positional order. Policy that is *deployment configuration* rather than
+code — which modules are sanctioned timing/randomness seams, which
+modules form one protocol group — lives in :class:`AnalysisConfig`, so
+rule logic stays free of repo-specific path lists.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.suppressions import apply_suppressions, collect_suppressions
+
+__all__ = [
+    "SYNTAX_ERROR_CODE",
+    "AnalysisConfig",
+    "Analyzer",
+    "ModuleSource",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+]
+
+#: A file the analyzer cannot parse is itself a finding: a syntactically
+#: broken module silently exempt from every rule would be a hole in the
+#: gate.
+SYNTAX_ERROR_CODE = "RB901"
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Repo-level policy the rules consult.
+
+    ``seams`` maps a rule code to ``{path suffix: justification}`` —
+    modules allowlisted for that rule because nondeterminism is their
+    *job* (the scheduler timing wall clocks, the perf harness timing
+    itself, the store stamping recency). A seam is deliberate, central,
+    and reviewed here, unlike an inline ignore scattered at a call site;
+    ``docs/ANALYSIS.md`` documents every default entry. Unused seams are
+    reported (like unused suppressions) when the seam's module was part
+    of the analyzed set.
+
+    ``protocol_groups`` maps a path suffix to a group name for RB104;
+    modules not named here each form their own group (both ends of the
+    worker and store protocols live in single modules today).
+    """
+
+    seams: Mapping[str, Mapping[str, str]] = field(
+        default_factory=lambda: DEFAULT_SEAMS
+    )
+    protocol_groups: Mapping[str, str] = field(default_factory=dict)
+
+    def seam_reason(self, code: str, relpath: str) -> str | None:
+        """The justification if ``relpath`` is a seam for ``code``, else None."""
+        for suffix, reason in self.seams.get(code, {}).items():
+            if relpath.endswith(suffix):
+                return reason
+        return None
+
+    def protocol_group(self, relpath: str) -> str:
+        """The RB104 group of a module (its own path unless paired)."""
+        for suffix, group in self.protocol_groups.items():
+            if relpath.endswith(suffix):
+                return group
+        return relpath
+
+
+#: The committed seam allowlist. Timing and entropy calls in these
+#: modules are infrastructure, not model code: nothing downstream of a
+#: seed tree reads them, so they cannot fork results across backends.
+DEFAULT_SEAMS: dict[str, dict[str, str]] = {
+    "RB102": {
+        "repro/core/scheduler.py": (
+            "wall-time provenance: perf_counter spans recorded in JobRecord, "
+            "never fed into any model draw"
+        ),
+        "repro/core/perf.py": (
+            "the perf harness's whole purpose is timing the repo; "
+            "perf_counter/time are its instrument, not an input to results"
+        ),
+        "repro/core/store.py": (
+            "cache recency stamps and stale-temp ages: eviction policy, "
+            "invisible to figure results by the store's bit-identity gates"
+        ),
+        "repro/rng.py": (
+            "the seed tree root itself — the one sanctioned entropy seam "
+            "every model draw must flow from"
+        ),
+    },
+}
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, as every rule sees it."""
+
+    path: pathlib.Path
+    relpath: str
+    text: str
+    lines: list[str]
+    tree: ast.Module | None
+    syntax_error: SyntaxError | None = None
+
+    @classmethod
+    def load(cls, path: pathlib.Path, relpath: str) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+            error = None
+        except SyntaxError as exc:
+            tree, error = None, exc
+        return cls(
+            path=path,
+            relpath=relpath,
+            text=text,
+            lines=text.splitlines(),
+            tree=tree,
+            syntax_error=error,
+        )
+
+    @classmethod
+    def from_text(
+        cls, text: str, relpath: str = "<memory>.py"
+    ) -> "ModuleSource":
+        """An in-memory module (the fixture-corpus tests use this)."""
+        try:
+            tree = ast.parse(text, filename=relpath)
+            error = None
+        except SyntaxError as exc:
+            tree, error = None, exc
+        return cls(
+            path=pathlib.Path(relpath),
+            relpath=relpath,
+            text=text,
+            lines=text.splitlines(),
+            tree=tree,
+            syntax_error=error,
+        )
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of a 1-indexed line ('' out of range)."""
+        if 0 < line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A finding anchored at an AST node of this module."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.relpath,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            line_text=self.line_text(line),
+        )
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``name``, implement one hook.
+
+    Per-module rules implement :meth:`check_module`; cross-module rules
+    set ``cross = True`` and implement :meth:`check_project`.
+    """
+
+    code: str = ""
+    name: str = ""
+    cross: bool = False
+
+    def check_module(
+        self, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[ModuleSource], config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY` by code."""
+    if not rule_class.code or not rule_class.code.startswith("RB"):
+        raise ValueError(f"rule {rule_class.__name__} needs an RBxxx code")
+    if rule_class.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_class.code}")
+    RULE_REGISTRY[rule_class.code] = rule_class
+    return rule_class
+
+
+def iter_python_files(paths: Sequence[str | pathlib.Path]) -> Iterator[pathlib.Path]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    ``__pycache__`` and hidden directories are skipped; a path that does
+    not exist raises ``FileNotFoundError`` (a typo'd lint target must not
+    silently pass).
+    """
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+class Analyzer:
+    """Runs the registered rules over a set of paths."""
+
+    def __init__(
+        self,
+        rules: Iterable[str] | None = None,
+        config: AnalysisConfig | None = None,
+    ) -> None:
+        self.config = config or AnalysisConfig()
+        codes = sorted(rules) if rules is not None else sorted(RULE_REGISTRY)
+        unknown = [code for code in codes if code not in RULE_REGISTRY]
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+        self.rules: list[Rule] = [RULE_REGISTRY[code]() for code in codes]
+
+    def load_modules(
+        self, paths: Sequence[str | pathlib.Path]
+    ) -> list[ModuleSource]:
+        """Parse every target file, with repo-relative display paths."""
+        cwd = pathlib.Path.cwd().resolve()
+        modules = []
+        for path in iter_python_files(paths):
+            resolved = path.resolve()
+            try:
+                relpath = resolved.relative_to(cwd).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            modules.append(ModuleSource.load(path, relpath))
+        return modules
+
+    def analyze_modules(self, modules: Sequence[ModuleSource]) -> list[Finding]:
+        """The full pass: rules, then suppressions, then seam accounting."""
+        raw: list[Finding] = []
+        for module in modules:
+            if module.syntax_error is not None:
+                raw.append(
+                    Finding(
+                        path=module.relpath,
+                        line=module.syntax_error.lineno or 1,
+                        col=(module.syntax_error.offset or 0) + 1,
+                        code=SYNTAX_ERROR_CODE,
+                        message=f"file does not parse: {module.syntax_error.msg}",
+                        line_text=module.line_text(module.syntax_error.lineno or 1),
+                    )
+                )
+                continue
+            for rule in self.rules:
+                if not rule.cross:
+                    raw.extend(rule.check_module(module, self.config))
+        parsed = [m for m in modules if m.syntax_error is None]
+        for rule in self.rules:
+            if rule.cross:
+                raw.extend(rule.check_project(parsed, self.config))
+
+        findings = self._apply_seams(raw)
+        return sort_findings(self._apply_pragmas(modules, findings))
+
+    def analyze(self, paths: Sequence[str | pathlib.Path]) -> list[Finding]:
+        """Convenience: load + analyze."""
+        return self.analyze_modules(self.load_modules(paths))
+
+    # --- filtering ------------------------------------------------------------
+
+    def _apply_seams(self, findings: list[Finding]) -> list[Finding]:
+        """Drop findings inside allowlisted seam modules."""
+        survivors = []
+        for finding in findings:
+            if self.config.seam_reason(finding.code, finding.path) is None:
+                survivors.append(finding)
+        return survivors
+
+    def _apply_pragmas(
+        self, modules: Sequence[ModuleSource], findings: list[Finding]
+    ) -> list[Finding]:
+        by_path: dict[str, list[Finding]] = {}
+        for finding in findings:
+            by_path.setdefault(finding.path, []).append(finding)
+        result: list[Finding] = []
+        module_paths = set()
+        for module in modules:
+            module_paths.add(module.relpath)
+            result.extend(
+                apply_suppressions(
+                    module.relpath,
+                    by_path.get(module.relpath, []),
+                    collect_suppressions(module.text),
+                    module.lines,
+                )
+            )
+        # Cross-module findings can anchor outside the analyzed set only
+        # by a rule bug, but never drop them silently.
+        for path, orphans in by_path.items():
+            if path not in module_paths:
+                result.extend(orphans)
+        return result

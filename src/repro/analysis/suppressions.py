@@ -1,0 +1,138 @@
+"""Inline suppression pragmas and the unused-suppression check.
+
+A finding is silenced by a comment on its own line::
+
+    total = sum(self._hits.values())  # repro: ignore[RB101] exact int sum
+
+Multiple codes are comma-separated (``# repro: ignore[RB101,RB102]``).
+The trailing free text is the justification — not parsed, but strongly
+encouraged (reviewers read it).
+
+Suppressions are themselves checked: a pragma that silences nothing is a
+finding (:data:`UNUSED_SUPPRESSION_CODE`), so stale ignores cannot
+accumulate as the code under them gets fixed. Comments are located with
+:mod:`tokenize`, not a regex over raw lines, so pragma-shaped text inside
+string literals never counts as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "Suppression",
+    "UNUSED_SUPPRESSION_CODE",
+    "collect_suppressions",
+    "apply_suppressions",
+]
+
+#: Rule code of the unused-suppression check (reserved RB9xx range: the
+#: analyzer's own hygiene rules, as opposed to RB1xx repo rules).
+UNUSED_SUPPRESSION_CODE = "RB900"
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<codes>[A-Za-z0-9_,\s]+)\](?P<reason>.*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: ignore[...]`` pragma and its match bookkeeping."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def collect_suppressions(text: str) -> list[Suppression]:
+    """All ignore pragmas in ``text``, in line order.
+
+    A file that does not tokenize cleanly yields no suppressions — the
+    analyzer reports the syntax error separately and a broken file should
+    not be able to silence anything.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                codes=codes,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    path: str,
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    lines: list[str],
+) -> list[Finding]:
+    """Drop findings covered by a same-line pragma; flag unused pragmas.
+
+    Returns the surviving findings plus one :data:`UNUSED_SUPPRESSION_CODE`
+    finding per pragma (or per code within a pragma) that matched nothing.
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+
+    survivors: list[Finding] = []
+    used_codes: dict[int, set[str]] = {}
+    for finding in findings:
+        silenced = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.code in suppression.codes:
+                suppression.used = True
+                used_codes.setdefault(id(suppression), set()).add(finding.code)
+                silenced = True
+        if not silenced:
+            survivors.append(finding)
+
+    for suppression in suppressions:
+        matched = used_codes.get(id(suppression), set())
+        for code in suppression.codes:
+            if code in matched:
+                continue
+            line_text = (
+                lines[suppression.line - 1].strip()
+                if 0 < suppression.line <= len(lines)
+                else ""
+            )
+            survivors.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=1,
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        f"unused suppression: no {code} finding on this line "
+                        f"(remove the pragma or fix the code it references)"
+                    ),
+                    line_text=line_text,
+                )
+            )
+    return survivors

@@ -16,6 +16,7 @@ Installed as ``repro-bench``::
     repro-bench [--seed N] findings [--cache DIR] [--store HOST:PORT]
     repro-bench hap [platform ...]
     repro-bench perf [--full] [--pr N] [--baseline BENCH_5.json]
+    repro-bench lint [src tests ...] [--format=json]   # determinism analyzer
 
 ``--seed`` is a global option and precedes the subcommand.
 """
@@ -173,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.core.perf import add_perf_arguments
 
     add_perf_arguments(perf)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism & distribution-safety analyzer "
+             "(RB1xx rules, see docs/ANALYSIS.md)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     advise = subparsers.add_parser(
         "advise", help="recommend platforms for weighted workload needs"
@@ -400,6 +410,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.core.perf import run_perf_command
 
             return run_perf_command(args)
+        if args.command == "lint":
+            from repro.analysis.cli import run_lint_command
+
+            return run_lint_command(args)
         if args.command == "advise":
             return _cmd_advise(args)
     except BrokenPipeError:

@@ -355,7 +355,7 @@ class WorkerServer:
         finally:
             # Graceful drain: finish (and deliver, best-effort) every job
             # this connection already accepted before closing it.
-            for future in list(in_flight):
+            for future in list(in_flight):  # repro: ignore[RB101] join-only drain; order unobservable
                 try:
                     future.result()
                 except Exception:

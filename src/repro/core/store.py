@@ -19,6 +19,12 @@ least-recently-read entries after each write until the directory fits the
 budget (reads refresh an entry's recency by touching its mtime). This is
 the first "store tiers" step — a bounded local tier that a shared remote
 tier can later sit behind.
+
+Recency stamps come from a per-store *monotonic* logical clock (seeded
+from the newest existing entry and the wall clock, advanced by at least a
+microsecond per touch): a wall-clock step backwards — NTP correction, VM
+resume — can therefore never make a fresh read look older than a stale
+one and reorder eviction.
 """
 
 from __future__ import annotations
@@ -169,6 +175,13 @@ class ResultStore:
         # A process that died between temp-write and rename leaves a
         # *.tmp-* file behind forever; adopt-and-sweep on open.
         self._sweep_stale_temps(max_age_s=self.STALE_TEMP_AGE_S)
+        # LRU recency bookkeeping must never run backwards: eviction
+        # sorts entries by mtime, so a wall-clock adjustment between two
+        # reads would invert their apparent recency. The logical clock
+        # starts at the newest stamp already on disk (so this process's
+        # touches always sort after prior runs') and only ever advances.
+        self._recency_lock = threading.Lock()
+        self._recency_clock = self._newest_entry_stamp()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore(root={str(self.root)!r})"
@@ -198,6 +211,33 @@ class ResultStore:
         """One-line location description (suite/CLI display)."""
         return str(self.root)
 
+    # --- recency clock --------------------------------------------------------------
+
+    def _newest_entry_stamp(self) -> float:
+        """The largest recency stamp on disk (or the current wall time)."""
+        newest = 0.0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    newest = max(newest, path.stat().st_mtime)
+                except OSError:
+                    continue  # raced with a concurrent removal
+        return max(newest, time.time())
+
+    def _next_recency_stamp(self) -> float:
+        """A strictly increasing mtime stamp for LRU bookkeeping.
+
+        Tracks the wall clock while it moves forward (stamps stay
+        meaningful to humans and to other processes sharing the
+        directory) but never follows it backwards — under clock
+        adjustment the stamp advances by a microsecond instead, so
+        eviction order keeps matching access order.
+        """
+        now = time.time()
+        with self._recency_lock:
+            self._recency_clock = max(self._recency_clock + 1e-6, now)
+            return self._recency_clock
+
     # --- read/write ---------------------------------------------------------------
 
     def get(self, key: StoreKey) -> FigureResult | None:
@@ -222,8 +262,11 @@ class ResultStore:
         self._hits += 1
         try:
             # LRU recency marker: a read refreshes the entry's mtime, so
-            # eviction (least-recently-*read*) spares hot entries.
-            os.utime(path)
+            # eviction (least-recently-*read*) spares hot entries. The
+            # stamp comes from the monotonic logical clock, not the raw
+            # wall clock, so recency order always matches access order.
+            stamp = self._next_recency_stamp()
+            os.utime(path, (stamp, stamp))
         except OSError:
             pass  # raced with a concurrent clear/evict: still a valid hit
         return result
@@ -244,6 +287,14 @@ class ResultStore:
         temp = self._temp_path(path)
         temp.write_text(json.dumps(payload, indent=2))
         temp.replace(path)
+        try:
+            # Writes enter the same monotonic recency order as reads; the
+            # rename alone would stamp raw wall time, which may sort
+            # *before* entries this store already touched.
+            stamp = self._next_recency_stamp()
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass  # raced with a concurrent clear/evict
         if self.max_bytes is not None:
             self._evict(protect=path)
         return path

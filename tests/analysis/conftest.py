@@ -1,0 +1,43 @@
+"""Shared helpers for the analyzer tests: lint in-memory sources."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Analyzer, ModuleSource
+from repro.analysis.findings import Finding
+
+
+@pytest.fixture
+def lint_source():
+    """Run the analyzer over one in-memory module; returns its findings."""
+
+    def run(
+        text: str,
+        *,
+        rules: list[str] | None = None,
+        relpath: str = "scratch/module.py",
+    ) -> list[Finding]:
+        analyzer = Analyzer(rules=rules)
+        module = ModuleSource.from_text(text, relpath=relpath)
+        return analyzer.analyze_modules([module])
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> pathlib.Path:
+    """The repository checkout root (two levels up from this file)."""
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def codes_of():
+    """The rule codes of a findings list, in report order."""
+
+    def extract(findings: list[Finding]) -> list[str]:
+        return [finding.code for finding in findings]
+
+    return extract

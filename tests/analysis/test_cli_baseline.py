@@ -1,0 +1,180 @@
+"""Baseline round-trips and the ``repro-bench lint`` / ``repro-lint`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.baseline import BASELINE_SCHEMA, Baseline
+from repro.analysis.cli import main as lint_main
+
+BAD_SEED = "import random\nx = random.random()\n"
+BAD_FOLD = "weights = {0.1, 0.2}\ntotal = sum(weights)\n"
+CLEAN = "def add(a, b):\n    return a + b\n"
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad_seed.py"
+    path.write_text(BAD_SEED)
+    return path
+
+
+class TestBaselineRoundTrip:
+    def test_write_load_filter(self, tmp_path, bad_file):
+        findings = Analyzer().analyze([bad_file])
+        assert findings
+
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).write(target)
+        loaded = Baseline.load(target)
+        assert len(loaded) == len(findings)
+
+        result = loaded.filter(Analyzer().analyze([bad_file]))
+        assert result.new == []
+        assert len(result.suppressed) == len(findings)
+        assert result.stale == []
+
+    def test_line_drift_keeps_baseline_valid(self, tmp_path, bad_file):
+        findings = Analyzer().analyze([bad_file])
+        baseline = Baseline.from_findings(findings)
+
+        bad_file.write_text("# a comment pushing everything down\n\n" + BAD_SEED)
+        result = baseline.filter(Analyzer().analyze([bad_file]))
+        assert result.new == []
+        assert result.stale == []
+
+    def test_fixed_finding_becomes_stale(self, tmp_path, bad_file):
+        baseline = Baseline.from_findings(Analyzer().analyze([bad_file]))
+        bad_file.write_text(CLEAN)
+        result = baseline.filter(Analyzer().analyze([bad_file]))
+        assert result.new == []
+        assert result.suppressed == []
+        assert len(result.stale) == len(baseline)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema": BASELINE_SCHEMA + 1, "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(target)
+
+
+class TestLintCli:
+    def test_findings_exit_1(self, bad_file, capsys):
+        assert lint_main([str(bad_file), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RB102" in out
+        assert "finding(s)" in out
+
+    def test_clean_exit_0(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text(CLEAN)
+        assert lint_main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warn_only_exit_0(self, bad_file, capsys):
+        assert lint_main([str(bad_file), "--no-baseline", "--warn-only"]) == 0
+        assert "warning(s)" in capsys.readouterr().out
+
+    def test_missing_target_exit_2(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "ghost.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_select_exit_2(self, bad_file, capsys):
+        assert lint_main([str(bad_file), "--select=RB999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        path = tmp_path / "bad_fold.py"
+        path.write_text(BAD_FOLD + BAD_SEED)
+        assert lint_main([str(path), "--no-baseline", "--select=RB101"]) == 1
+        out = capsys.readouterr().out
+        assert "RB101" in out
+        assert "RB102" not in out
+
+    def test_json_report_shape(self, bad_file, capsys):
+        assert lint_main([str(bad_file), "--no-baseline", "--format=json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == 1
+        assert report["counts"].get("RB102", 0) >= 1
+        assert report["findings"][0]["code"] == "RB102"
+        assert report["baseline"] == {"suppressed": 0, "stale": []}
+
+    def test_update_baseline_then_clean(
+        self, tmp_path, bad_file, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([str(bad_file), "--update-baseline"]) == 0
+        assert "baseline updated" in capsys.readouterr().out
+        assert (tmp_path / "analysis-baseline.json").is_file()
+        # The default baseline is picked up from the cwd on the next run.
+        assert lint_main([str(bad_file)]) == 0
+        assert "clean (1 baselined)" in capsys.readouterr().out
+        # ... and --no-baseline still shows the unfiltered truth.
+        assert lint_main([str(bad_file), "--no-baseline"]) == 1
+
+    def test_stale_entries_scoped_to_analyzed_paths(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "src").mkdir()
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "src" / "clean.py").write_text(CLEAN)
+        (tmp_path / "tests" / "bad.py").write_text(BAD_SEED)
+        assert lint_main(["src", "tests", "--update-baseline"]) == 0
+        capsys.readouterr()
+        # Linting only src must not call the tests/ entries stale.
+        assert lint_main(["src"]) == 0
+        assert "stale" not in capsys.readouterr().out
+        # A full run after the fix does report them.
+        (tmp_path / "tests" / "bad.py").write_text(CLEAN)
+        assert lint_main(["src", "tests"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RB101", "RB102", "RB103", "RB104"):
+            assert code in out
+
+
+class TestRepoTreeGate:
+    """The acceptance gates of this PR, as tests."""
+
+    def test_lint_src_is_clean_under_committed_baseline(
+        self, repo_root, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(repo_root)
+        assert lint_main(["src"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "stale" not in out
+
+    def test_full_tree_is_clean_under_committed_baseline(
+        self, repo_root, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(repo_root)
+        assert lint_main(["src", "tests", "benchmarks"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_src_baseline_contribution_is_empty(self, repo_root):
+        # The ISSUE requires an empty-or-justified baseline for src: it
+        # must be *empty* — every accepted entry lives in tests/ or
+        # benchmarks/.
+        baseline = Baseline.load(repo_root / "analysis-baseline.json")
+        assert baseline.entries
+        for entry in baseline.entries.values():
+            top = entry["path"].split("/")[0]
+            assert top in {"tests", "benchmarks"}, entry
+
+    def test_repro_bench_lint_subcommand_wired(self, repo_root, capsys):
+        from repro.cli import main as bench_main
+
+        code = bench_main(["lint", "--list-rules"])
+        assert code == 0
+        assert "RB101" in capsys.readouterr().out

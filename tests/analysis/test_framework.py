@@ -1,0 +1,197 @@
+"""Framework-level behavior: suppressions, registry, loading, fingerprints."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    AnalysisConfig,
+    ModuleSource,
+    Rule,
+    RULE_REGISTRY,
+    fingerprint_findings,
+    register_rule,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.framework import SYNTAX_ERROR_CODE, iter_python_files
+from repro.analysis.suppressions import (
+    UNUSED_SUPPRESSION_CODE,
+    collect_suppressions,
+)
+
+
+def dedent(text: str) -> str:
+    return textwrap.dedent(text).lstrip()
+
+
+class TestSuppressions:
+    def test_same_line_pragma_silences_finding(self, lint_source):
+        source = dedent(
+            """
+            import random
+            x = random.random()  # repro: ignore[RB102] fixture entropy
+            """
+        )
+        assert lint_source(source, rules=["RB102"]) == []
+
+    def test_multi_code_pragma(self, lint_source):
+        source = dedent(
+            """
+            import random
+            x = random.random()  # repro: ignore[RB102, RB101] both silenced
+            """
+        )
+        findings = lint_source(source, rules=["RB101", "RB102"])
+        # RB102 fires and is silenced; RB101 never fires, so that half of
+        # the pragma is dead weight and must be reported.
+        assert [f.code for f in findings] == [UNUSED_SUPPRESSION_CODE]
+        assert "RB101" in findings[0].message
+
+    def test_unused_pragma_is_a_finding(self, lint_source):
+        source = "x = 1  # repro: ignore[RB102] nothing here\n"
+        findings = lint_source(source, rules=["RB102"])
+        assert [f.code for f in findings] == [UNUSED_SUPPRESSION_CODE]
+
+    def test_pragma_on_other_line_does_not_silence(self, lint_source):
+        source = dedent(
+            """
+            import random
+            # repro: ignore[RB102] wrong line
+            x = random.random()
+            """
+        )
+        codes = sorted(f.code for f in lint_source(source, rules=["RB102"]))
+        assert codes == ["RB102", UNUSED_SUPPRESSION_CODE]
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        source = 'banner = "use # repro: ignore[RB102] to silence"\n'
+        assert collect_suppressions(source) == []
+
+    def test_untokenizable_text_yields_no_suppressions(self):
+        source = "def broken(:\n    pass  # repro: ignore[RB102]\n"
+        assert collect_suppressions(source) == []
+
+    def test_case_insensitive_codes(self):
+        source = "x = 1  # repro: ignore[rb102] lowercase\n"
+        (suppression,) = collect_suppressions(source)
+        assert suppression.codes == ("RB102",)
+
+
+class TestSyntaxErrors:
+    def test_unparseable_module_is_a_finding(self, lint_source, codes_of):
+        findings = lint_source("def broken(:\n    pass\n")
+        assert codes_of(findings) == [SYNTAX_ERROR_CODE]
+        assert "does not parse" in findings[0].message
+
+
+class TestRegistry:
+    def test_four_repo_rules_are_registered(self):
+        assert {"RB101", "RB102", "RB103", "RB104"} <= set(RULE_REGISTRY)
+
+    def test_register_rejects_missing_code(self):
+        class Anonymous(Rule):
+            code = ""
+
+        with pytest.raises(ValueError, match="RBxxx code"):
+            register_rule(Anonymous)
+
+    def test_register_rejects_duplicate_code(self):
+        class Impostor(Rule):
+            code = "RB101"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_rule(Impostor)
+
+    def test_analyzer_rejects_unknown_selection(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            Analyzer(rules=["RB999"])
+
+
+class TestFileDiscovery:
+    def test_missing_target_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files(["no/such/dir"]))
+
+    def test_skips_pycache_and_hidden(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "mod.py").write_text("x = 1\n")
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["mod.py"]
+        parents = {p.parent.name for p in iter_python_files([tmp_path])}
+        assert parents == {"pkg"}
+
+
+class TestSeams:
+    def test_seam_covers_only_named_rule(self, lint_source):
+        # store.py is an RB102 seam; an RB101-shaped defect there must
+        # still be reported — seams are per-rule, not per-module blanket.
+        source = dedent(
+            """
+            import time
+
+            weights = {0.1, 0.2}
+            stamp = time.time()
+            total = sum(weights)
+            """
+        )
+        findings = lint_source(
+            source,
+            rules=["RB101", "RB102"],
+            relpath="src/repro/core/store.py",
+        )
+        assert [f.code for f in findings] == ["RB101"]
+
+    def test_custom_config_seam(self):
+        config = AnalysisConfig(
+            seams={"RB102": {"scratch/clocked.py": "test seam"}}
+        )
+        analyzer = Analyzer(rules=["RB102"], config=config)
+        module = ModuleSource.from_text(
+            "import time\nstamp = time.time()\n", relpath="scratch/clocked.py"
+        )
+        assert analyzer.analyze_modules([module]) == []
+
+
+class TestFingerprints:
+    def _finding(self, line: int, text: str, path: str = "a.py") -> Finding:
+        return Finding(
+            path=path, line=line, col=1, code="RB102",
+            message="m", line_text=text,
+        )
+
+    def test_stable_under_line_drift(self):
+        before = [self._finding(10, "x = random.random()")]
+        after = [self._finding(57, "x = random.random()")]
+        assert (
+            fingerprint_findings(before)[0][0]
+            == fingerprint_findings(after)[0][0]
+        )
+
+    def test_editing_the_line_invalidates(self):
+        before = [self._finding(10, "x = random.random()")]
+        after = [self._finding(10, "x = random.gauss(0, 1)")]
+        assert (
+            fingerprint_findings(before)[0][0]
+            != fingerprint_findings(after)[0][0]
+        )
+
+    def test_identical_lines_get_distinct_occurrences(self):
+        findings = [
+            self._finding(10, "x = random.random()"),
+            self._finding(20, "x = random.random()"),
+        ]
+        prints = [fp for fp, _ in fingerprint_findings(findings)]
+        assert len(set(prints)) == 2
+
+    def test_path_is_part_of_the_identity(self):
+        assert (
+            fingerprint_findings([self._finding(1, "t", path="a.py")])[0][0]
+            != fingerprint_findings([self._finding(1, "t", path="b.py")])[0][0]
+        )

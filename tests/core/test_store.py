@@ -417,3 +417,71 @@ class TestEviction:
         store.put(self.key(1), sample_result())
         assert store.get(self.key(1)) is not None
         assert store.path_for(self.key(0)).exists() is False
+
+
+class TestMonotonicRecency:
+    """Recency stamps never run backwards, whatever the wall clock does.
+
+    Eviction sorts entries by mtime, so a wall-clock step between two
+    accesses (NTP correction, VM suspend/resume) could invert their
+    apparent recency and evict the *hot* entry. The store's logical
+    clock only ever advances.
+    """
+
+    @staticmethod
+    def key(n):
+        return StoreKey.for_run("figX", n, False, None)
+
+    def test_stamps_increase_under_backwards_clock(self, tmp_path, monkeypatch):
+        from repro.core import store as store_module
+
+        store = ResultStore(tmp_path)
+        start = store._recency_clock
+        # A wall clock stepping steadily *backwards* from init time.
+        ticks = iter(start - 1.0 * n for n in range(1, 100))
+        monkeypatch.setattr(store_module.time, "time", lambda: next(ticks))
+        stamps = [store._next_recency_stamp() for _ in range(20)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)  # strictly increasing
+        assert all(stamp > start for stamp in stamps)
+
+    def test_stamps_track_forward_clock(self, tmp_path, monkeypatch):
+        from repro.core import store as store_module
+
+        store = ResultStore(tmp_path)
+        future = store._recency_clock + 1000.0
+        monkeypatch.setattr(store_module.time, "time", lambda: future)
+        assert store._next_recency_stamp() == future
+
+    def test_eviction_follows_access_order_under_backwards_clock(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.core import store as store_module
+
+        probe = ResultStore(tmp_path / "probe")
+        size = probe.put(self.key(0), sample_result()).stat().st_size
+
+        store = ResultStore(tmp_path / "cache", max_bytes=2 * size + size // 2)
+        start = store._recency_clock
+        ticks = iter(start - 1.0 * n for n in range(1, 100))
+        monkeypatch.setattr(store_module.time, "time", lambda: next(ticks))
+
+        store.put(self.key(0), sample_result())
+        store.put(self.key(1), sample_result())
+        # Read 0 last: with raw wall-clock stamps this touch would sort
+        # *before* both writes and 0 would be evicted as coldest.
+        assert store.get(self.key(0)) is not None
+        store.put(self.key(2), sample_result())
+        assert store.path_for(self.key(0)).exists()  # recently read: kept
+        assert not store.path_for(self.key(1)).exists()  # true LRU: evicted
+
+    def test_fresh_store_sorts_after_existing_entries(self, tmp_path):
+        import os
+
+        seeded = ResultStore(tmp_path)
+        path = seeded.put(self.key(0), sample_result())
+        # An entry stamped by another host whose clock runs ahead.
+        future = path.stat().st_mtime + 500.0
+        os.utime(path, (future, future))
+        fresh = ResultStore(tmp_path)
+        assert fresh._next_recency_stamp() > future
