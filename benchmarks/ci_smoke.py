@@ -2,9 +2,11 @@
 
 Runs a small figure subset through ``BenchmarkSuite(quick=True)`` —
 once on the serial backend, once across a figure-level process pool,
-once with the flat (platform x rep) grid pool (``grid_jobs``), and
+once with the flat (platform x rep) grid pool (``grid_jobs``), once
+with an explicit non-dividing ``--chunk-size`` on that grid pool, and
 (when ``--remote-workers`` names a fleet) once through the remote grid
-backend — and asserts all summaries are bit-identical, then archives
+backend plus a chunked remote leg — and asserts all summaries are
+bit-identical, then archives
 the pool run's JSON + manifest as the CI artifact. The emitted
 ``BENCH_smoke.json`` records per-backend wall times, seeding the repo's
 performance trajectory.
@@ -51,9 +53,11 @@ def run_backend(
     figures: list[str],
     grid_jobs: int = 1,
     workers: tuple[str, ...] = (),
+    chunk_size: int | None = None,
 ) -> tuple[BenchmarkSuite, float]:
     suite = BenchmarkSuite(
-        seed=seed, quick=True, jobs=jobs, grid_jobs=grid_jobs, workers=workers
+        seed=seed, quick=True, jobs=jobs, grid_jobs=grid_jobs, workers=workers,
+        chunk_size=chunk_size,
     )
     started = time.perf_counter()
     suite.run_all(figures)
@@ -130,6 +134,11 @@ def main(argv: list[str] | None = None) -> int:
         "--figures", nargs="*", default=SMOKE_FIGURES, help="figure subset to exercise"
     )
     parser.add_argument(
+        "--chunk-size", type=int, default=7, metavar="N",
+        help="explicit slab size for the chunked bit-identity legs; the "
+             "default 7 deliberately does not divide any smoke grid width",
+    )
+    parser.add_argument(
         "--remote-workers", default=None, metavar="HOST:PORT[,...]",
         help="also gate serial vs the remote grid backend against this "
              "worker fleet (each member: repro-bench worker --port P)",
@@ -148,16 +157,32 @@ def main(argv: list[str] | None = None) -> int:
     serial_suite, serial_wall = run_backend(args.seed, 1, args.figures)
     parallel_suite, parallel_wall = run_backend(args.seed, args.jobs, args.figures)
     grid_suite, grid_wall = run_backend(args.seed, 1, args.figures, grid_jobs=args.grid_jobs)
+    # The chunked leg: same grid pool, but explicit (non-dividing) slabs —
+    # the bit-identity gate for chunk geometry on the process backend.
+    chunked_suite, chunked_wall = run_backend(
+        args.seed, 1, args.figures, grid_jobs=args.grid_jobs,
+        chunk_size=args.chunk_size,
+    )
 
     pool_mismatches = compare(serial_suite, parallel_suite, args.figures)
     grid_mismatches = compare(serial_suite, grid_suite, args.figures)
+    chunked_mismatches = compare(serial_suite, chunked_suite, args.figures)
     remote_mismatches: list[str] = []
+    chunked_remote_mismatches: list[str] = []
     remote_wall = None
+    chunked_remote_wall = None
     if remote_fleet:
         remote_suite, remote_wall = run_backend(
             args.seed, 1, args.figures, workers=remote_fleet
         )
         remote_mismatches = compare(serial_suite, remote_suite, args.figures)
+        chunked_remote_suite, chunked_remote_wall = run_backend(
+            args.seed, 1, args.figures, workers=remote_fleet,
+            chunk_size=args.chunk_size,
+        )
+        chunked_remote_mismatches = compare(
+            serial_suite, chunked_remote_suite, args.figures
+        )
     out = pathlib.Path(args.out)
     store_gate = None
     if args.store_url:
@@ -166,7 +191,8 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     mismatches = sorted(
-        set(pool_mismatches) | set(grid_mismatches) | set(remote_mismatches)
+        set(pool_mismatches) | set(grid_mismatches) | set(chunked_mismatches)
+        | set(remote_mismatches) | set(chunked_remote_mismatches)
         | set(store_gate["mismatches"] if store_gate else ())
     )
     store_failed = store_gate is not None and not store_gate["ok"]
@@ -176,7 +202,9 @@ def main(argv: list[str] | None = None) -> int:
              f"not-remote={','.join(store_gate['not_remote'])}"
     )
     remote_note = (
-        f" remote[{','.join(remote_fleet)}]={remote_wall:.2f}s" if remote_fleet else ""
+        f" remote[{','.join(remote_fleet)}]={remote_wall:.2f}s"
+        f" remote-chunk{args.chunk_size}={chunked_remote_wall:.2f}s"
+        if remote_fleet else ""
     )
     store_note = (
         f" store[{args.store_url}] warm={store_gate['warm_wall_s']:.2f}s "
@@ -186,7 +214,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"smoke[{','.join(args.figures)}] seed={args.seed} "
         f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s "
-        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s{remote_note}{store_note} "
+        f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s "
+        f"chunk{args.chunk_size}={chunked_wall:.2f}s{remote_note}{store_note} "
         f"-> {status}"
     )
     parallel_suite.save_results(out)
@@ -198,15 +227,23 @@ def main(argv: list[str] | None = None) -> int:
                 "serial_wall_s": round(serial_wall, 4),
                 "parallel_wall_s": round(parallel_wall, 4),
                 "grid_parallel_wall_s": round(grid_wall, 4),
+                "chunked_wall_s": round(chunked_wall, 4),
                 "remote_wall_s": round(remote_wall, 4) if remote_wall is not None else None,
+                "chunked_remote_wall_s": (
+                    round(chunked_remote_wall, 4)
+                    if chunked_remote_wall is not None else None
+                ),
                 "jobs": args.jobs,
                 "grid_jobs": args.grid_jobs,
+                "chunk_size": args.chunk_size,
                 "remote_workers": list(remote_fleet),
                 "identical": not mismatches,
                 "mismatches": mismatches,
                 "pool_mismatches": pool_mismatches,
                 "grid_mismatches": grid_mismatches,
+                "chunked_mismatches": chunked_mismatches,
                 "remote_mismatches": remote_mismatches,
+                "chunked_remote_mismatches": chunked_remote_mismatches,
                 "store_gate": store_gate,
             },
             indent=2,

@@ -6,6 +6,7 @@ Installed as ``repro-bench``::
     repro-bench platforms                    # the platform roster
     repro-bench [--seed N] run fig11 [--quick] [--json out/] [--cache DIR]
     repro-bench run fig11 [--grid-jobs 4]       # flat (platform x rep) pool
+    repro-bench run fig11 --grid-jobs 4 --chunk-size 8   # slab dispatch
     repro-bench [--seed N] run all [--quick] [--jobs 4] [--provenance]
     repro-bench run all   [--dry-run]           # print lowered grids only
     repro-bench plan fig09 [--quick]            # inspect one figure's grid
@@ -79,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
              "stay bit-identical to a serial run",
     )
     run.add_argument(
+        "--chunk-size", dest="chunk_size", type=int, default=None, metavar="N",
+        help="dispatch N-cell slabs per pool future / remote frame on "
+             "non-serial grid backends (default: auto heuristic, see "
+             "docs/PERFORMANCE.md; bit-identical for every value)",
+    )
+    run.add_argument(
         "--cache", metavar="DIR",
         help="persistent result store; warm entries skip execution entirely",
     )
@@ -111,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--grid-jobs", dest="grid_jobs", type=int, default=1, metavar="N",
         help="grid pool width the plan would run with",
+    )
+    plan.add_argument(
+        "--chunk-size", dest="chunk_size", type=int, default=None, metavar="N",
+        help="dispatch slab size the plan would run with (default: auto)",
     )
 
     worker = subparsers.add_parser(
@@ -226,6 +237,7 @@ def _print_grids(suite: BenchmarkSuite, targets: list[str]) -> None:
                 backend=policy.resolved_grid_backend,
                 workers=policy.grid_jobs,
                 roster=policy.workers,
+                chunk_size=policy.chunk_size,
             )
         )
         print()
@@ -240,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     suite = BenchmarkSuite(
         seed=args.seed, quick=args.quick, jobs=args.jobs, grid_jobs=args.grid_jobs,
         grid_backend=args.grid_backend, workers=workers, store_url=args.store,
+        chunk_size=args.chunk_size,
         cache_dir=args.cache,
         cache_max_bytes=(
             args.cache_max_mb * 1024 * 1024 if args.cache_max_mb is not None else None
@@ -260,6 +273,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             grid_note = f" grid={grid}:{p.get('grid_jobs', 1)}" if grid else ""
             if grid and width is not None:
                 grid_note += f" width={width}"
+            if grid and p.get("chunk_size") is not None:
+                grid_note += f" chunk={p['chunk_size']}"
             if p.get("workers"):
                 grid_note += f" workers={','.join(p['workers'])}"
             store_note = f" store={p['store']}" if p.get("store") else ""
@@ -275,7 +290,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    suite = BenchmarkSuite(seed=args.seed, quick=args.quick, grid_jobs=args.grid_jobs)
+    suite = BenchmarkSuite(
+        seed=args.seed, quick=args.quick, grid_jobs=args.grid_jobs,
+        chunk_size=args.chunk_size,
+    )
     _print_grids(suite, [args.figure])
     return 0
 

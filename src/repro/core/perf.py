@@ -11,7 +11,10 @@ are judged against:
 
 * **grid throughput** — cells/second through a lowered figure grid on
   the serial, process, and remote-loopback backends (the same
-  order-preserving mappers production runs use);
+  order-preserving mappers production runs use, auto-chunked by
+  default), plus ``@chunked`` variants pinning an explicit slab size
+  and a ``bytes_per_cell`` wire metric from the remote mapper's
+  :class:`~repro.core.remote.WireStats`;
 * **warm store latency** — queries/second against a warm local
   :class:`~repro.core.store.ResultStore` and a warm
   :class:`~repro.core.storenet.RemoteStore` served over the loopback
@@ -72,7 +75,7 @@ __all__ = [
 BENCH_SCHEMA_VERSION = 1
 
 #: The PR this checkout writes its trajectory file for (``BENCH_<pr>.json``).
-CURRENT_PR = 6
+CURRENT_PR = 8
 
 #: The figure whose lowered grid carries the throughput measurement: a
 #: full-roster bar figure with cheap cells, so the measured rate is the
@@ -83,8 +86,22 @@ GRID_FIGURE = "fig05"
 #: inner-sampling figure (startup CDFs), and the HAP table.
 LOWERING_FIGURES = ("fig05", "fig13", "fig18")
 
-GRID_METRIC_BACKENDS = ("serial", "process", "remote-loopback")
+#: Backend variants measured by the grid-throughput family, in emission
+#: order. The bare ``process``/``remote-loopback`` keys measure the
+#: production default (auto-resolved chunk size); the ``@chunked``
+#: variants pin :data:`CHUNKED_VARIANT_SIZE` so the explicit-knob path
+#: is tracked too.
+GRID_METRIC_BACKENDS = (
+    "serial",
+    "process",
+    "process@chunked",
+    "remote-loopback",
+    "remote-loopback@chunked",
+)
 STORE_METRIC_TIERS = ("local", "remote")
+
+#: Explicit slab size pinned by the ``@chunked`` grid variants.
+CHUNKED_VARIANT_SIZE = 16
 
 
 @dataclass(frozen=True)
@@ -156,6 +173,7 @@ def metric_keys(quick: bool = True) -> list[str]:
     """
     del quick
     keys = [f"grid_cells_per_s/{backend}" for backend in GRID_METRIC_BACKENDS]
+    keys += ["bytes_per_cell/remote-loopback"]
     keys += [f"store_queries_per_s/{tier}" for tier in STORE_METRIC_TIERS]
     keys += [f"lowering_ms/{figure}" for figure in LOWERING_FIGURES]
     return keys
@@ -204,20 +222,38 @@ def _timed(action: Callable[[], Any]) -> float:
     return time.perf_counter() - start
 
 
+#: Untimed runs before sampling. One is not enough for the pool-backed
+#: grid variants: a ProcessPoolExecutor keeps getting faster over its
+#: first few dispatches (worker import/allocator warmup), and sampling
+#: that ramp would charge pool startup to the dispatch rate the metric
+#: is defined to measure (steady state).
+WARMUP_RUNS = 3
+
+
 def _sample(action: Callable[[], Any], repeats: int) -> list[float]:
-    """One untimed warmup, then ``repeats`` timed runs."""
-    action()
+    """``WARMUP_RUNS`` untimed warmups, then ``repeats`` timed runs."""
+    for _ in range(WARMUP_RUNS):
+        action()
     return [_timed(action) for _ in range(repeats)]
 
 
 def _measure_grid(seed: int, repeats: int, repetitions: int) -> Iterator[MetricSeries]:
-    """Cells/second through the lowered grid, per backend.
+    """Cells/second through the lowered grid, per backend variant.
 
     Each sample lowers a fresh grid (streams are consumed by execution,
     and lowering is itself measured separately) and dispatches it through
     the backend's mapper in the single call production uses. The process
     pool and the loopback fleet are created once and warmed before
-    timing, so the rates reflect steady-state dispatch, not pool startup.
+    timing — the remote mapper is explicitly pre-connected via
+    :meth:`~repro.core.remote.RemoteMapper.connect` — so the rates
+    reflect steady-state dispatch, never pool startup or TCP
+    connect/handshake cost.
+
+    The bare ``process``/``remote-loopback`` variants run the production
+    default (auto-resolved chunk size); the ``@chunked`` variants pin
+    ``chunk_size=CHUNKED_VARIANT_SIZE``. The remote run also yields the
+    ``bytes_per_cell`` wire metric from the mapper's
+    :class:`~repro.core.remote.WireStats`.
     """
     plan = build_plan(GRID_FIGURE, repetitions=repetitions)
     width = plan.lower(seed).width
@@ -235,25 +271,53 @@ def _measure_grid(seed: int, repeats: int, repetitions: int) -> Iterator[MetricS
         tuple(width / value for value in seconds),
     )
 
-    process_mapper = grid_mapper("process", jobs=2)
-    try:
-        seconds = _sample(execute_with(process_mapper), repeats)
-    finally:
-        process_mapper.close()
-    yield MetricSeries(
-        "grid_cells_per_s/process", "cells/s", True,
-        tuple(width / value for value in seconds),
-    )
-
-    with WorkerServer(host="127.0.0.1", port=0, workers=2) as server:
-        remote_mapper = grid_mapper("remote", jobs=1, workers=[server.address_string])
+    for variant, chunk_size in (
+        ("process", None),
+        ("process@chunked", CHUNKED_VARIANT_SIZE),
+    ):
+        process_mapper = grid_mapper("process", jobs=2, chunk_size=chunk_size)
         try:
-            seconds = _sample(execute_with(remote_mapper), repeats)
+            seconds = _sample(execute_with(process_mapper), repeats)
         finally:
-            remote_mapper.close()
+            process_mapper.close()
+        yield MetricSeries(
+            f"grid_cells_per_s/{variant}", "cells/s", True,
+            tuple(width / value for value in seconds),
+        )
+
+    wire_bytes_per_cell: float | None = None
+    with WorkerServer(host="127.0.0.1", port=0, workers=2) as server:
+        for variant, chunk_size in (
+            ("remote-loopback", None),
+            ("remote-loopback@chunked", CHUNKED_VARIANT_SIZE),
+        ):
+            remote_mapper = grid_mapper(
+                "remote", jobs=1, workers=[server.address_string],
+                chunk_size=chunk_size,
+            )
+            try:
+                # Pre-warm the fleet connections so the timed samples
+                # (and _sample's untimed warmup dispatch) measure
+                # steady-state throughput, not connect + handshake.
+                remote_mapper.connect()
+                seconds = _sample(execute_with(remote_mapper), repeats)
+                if chunk_size is None:
+                    # Wire bytes per cell over every dispatch this
+                    # mapper made (warmup + timed): traffic is
+                    # deterministic per dispatch, so the ratio is exact.
+                    cells = width * (repeats + 1)
+                    wire_bytes_per_cell = remote_mapper.wire_stats.total_bytes / cells
+            finally:
+                remote_mapper.close()
+            yield MetricSeries(
+                f"grid_cells_per_s/{variant}", "cells/s", True,
+                tuple(width / value for value in seconds),
+            )
+
+    assert wire_bytes_per_cell is not None
     yield MetricSeries(
-        "grid_cells_per_s/remote-loopback", "cells/s", True,
-        tuple(width / value for value in seconds),
+        "bytes_per_cell/remote-loopback", "bytes/cell", False,
+        (wire_bytes_per_cell,),
     )
 
 

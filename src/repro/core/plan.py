@@ -177,17 +177,26 @@ class LoweredGrid:
         backend: str = "serial",
         workers: int = 1,
         roster: Sequence[str] = (),
+        chunk_size: int | None = None,
     ) -> str:
         """Human-readable grid summary for ``plan`` / ``--dry-run``.
 
         ``workers`` is the local pool width; for the remote backend the
         fleet ``roster`` defines the parallelism instead, so it replaces
-        the meaningless grid-jobs count in the header.
+        the meaningless grid-jobs count in the header. ``chunk_size`` is
+        the policy's dispatch-slab knob; non-serial backends show it
+        (``auto`` when unset — the resolved size depends on the fleet,
+        known only at dispatch time).
         """
         if roster:
             policy_note = f"backend={backend}, workers={', '.join(roster)}"
         else:
             policy_note = f"backend={backend}, grid-jobs={workers}"
+        if backend != "serial":
+            policy_note += (
+                f", chunk-size={chunk_size}" if chunk_size is not None
+                else ", chunk-size=auto"
+            )
         lines = [f"{self.figure_id}: {self.width} grid job(s) [{policy_note}]"]
         for spec in self.specs:
             included = self.included_platforms(spec)

@@ -12,25 +12,41 @@ every connected worker). Where the cells execute is deployment-time
 policy (``--grid-backend remote --workers host:port,...``), never a code
 change — the RAFDA position.
 
-Wire protocol — length-prefixed pickle frames over TCP:
+Wire protocol (v2, chunked) — length-prefixed pickle frames over TCP:
 
-* every frame is a 4-byte big-endian length followed by a pickle payload;
-* the client opens with ``("hello", {"protocol": 1})`` and the server
-  answers ``("hello", {"slots": N})`` — ``N`` is the worker's local
-  process count, which the client uses as its pipelining window;
-* work flows as ``("job", seq, fn, item)`` (``fn`` picklable by
-  reference — :func:`~repro.core.runner.run_rep_job` for grid cells) and
-  comes back as ``("result", seq, value)`` or ``("error", seq,
-  message)``, *in completion order* — the client reassembles by ``seq``,
-  so the mapper stays order-preserving;
+* every frame is a 4-byte big-endian header word — the low 31 bits are
+  the payload length, the top bit marks a zlib-compressed payload —
+  followed by the (possibly compressed) pickle payload;
+* the client opens with ``("hello", {"protocol": 2, "compress_min":
+  N-or-None})`` and the server answers ``("hello", {"slots": S,
+  "compress_min": N-or-None})`` — ``S`` is the worker's local process
+  count, which the client uses as its pipelining window (counted in
+  *chunks*), and the echoed ``compress_min`` is the negotiated
+  compression threshold both sides apply to subsequent frames;
+* work flows as ``("chunk", seq, fn, [item, ...])`` — one frame carries
+  one contiguous slab of the lowered grid (``fn`` picklable by
+  reference — :func:`~repro.core.runner.run_rep_job` for grid cells),
+  so the framed-pickle round-trip is amortized over the slab — and
+  comes back as ``("chunk_result", seq, [value, ...])`` or ``("error",
+  seq, message)``, *in completion order* — the client reassembles by
+  ``seq`` and slabs are contiguous, so the mapper stays
+  order-preserving for every chunk size;
+* a protocol violation (including a version mismatch from an old fleet
+  member) is answered with a seq-less ``("error", None, message)``
+  naming both versions — a mixed-version fleet fails the handshake
+  loudly instead of corrupting frames silently;
 * a client closes its socket to finish; the server drains that
-  connection's in-flight jobs first (graceful shutdown, both ways).
+  connection's in-flight chunks first (graceful shutdown, both ways).
+
+``TCP_NODELAY`` is set on every dialed and accepted socket: frames are
+small and strictly request/reply-shaped, so Nagle buffering only adds
+latency here.
 
 Determinism is untouched by all of this: every cell's RNG stream was
 pre-derived during lowering, so remote results are bit-identical to
-serial ones no matter which worker runs which cell, in which order, or
-how often a cell is retried after a worker disconnect (re-running a cell
-re-runs the same pure function of the same stream).
+serial ones no matter which worker runs which chunk, in which order, or
+how often a chunk is retried after a worker disconnect (re-running a
+cell re-runs the same pure function of the same stream).
 """
 
 from __future__ import annotations
@@ -39,18 +55,22 @@ import pickle
 import socket
 import struct
 import threading
+import zlib
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.core.chunking import chunk_items, resolve_chunk_size
 from repro.errors import ConfigurationError, ReproError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "COMPRESS_MIN_BYTES",
     "RemoteError",
     "RemoteProtocolError",
     "RemoteDispatchError",
     "RemoteJobError",
+    "WireStats",
     "send_frame",
     "recv_frame",
     "parse_worker_address",
@@ -58,10 +78,21 @@ __all__ = [
     "RemoteMapper",
 ]
 
-PROTOCOL_VERSION = 1
+#: v2: chunked job frames, chunk-granular slot accounting, negotiated
+#: zlib compression. v1 peers are refused at the handshake.
+PROTOCOL_VERSION = 2
+
+#: Default compression threshold offered in the hello: payloads at or
+#: above this many pickled bytes cross the wire zlib-compressed. Small
+#: frames skip the deflate round-trip — it would cost more latency than
+#: the bytes it saves.
+COMPRESS_MIN_BYTES = 16384
 
 #: Frames above this size indicate a corrupt length prefix, not a figure.
 _MAX_FRAME_BYTES = 1 << 30
+
+#: Top bit of the header word: the payload is zlib-compressed.
+_COMPRESSED_FLAG = 1 << 31
 
 _LENGTH = struct.Struct(">I")
 
@@ -90,10 +121,71 @@ class RemoteJobError(RemoteError):
 # --- framing ---------------------------------------------------------------------
 
 
-def send_frame(sock: socket.socket, message: Any) -> None:
-    """Pickle ``message`` and send it as one length-prefixed frame."""
+class WireStats:
+    """Thread-safe byte/frame counters for one peer's framed traffic.
+
+    Feeds the perf trajectory's ``bytes_per_cell`` wire metric: pass an
+    instance to :func:`send_frame`/:func:`recv_frame` (the
+    :class:`RemoteMapper` owns one per client) and read the totals after
+    a dispatch. Counts bytes *on the wire* — header word plus the
+    possibly-compressed payload — so compression savings are visible.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def add_sent(self, size: int) -> None:
+        with self._lock:
+            self.bytes_sent += size
+            self.frames_sent += 1
+
+    def add_received(self, size: int) -> None:
+        with self._lock:
+            self.bytes_received += size
+            self.frames_received += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.frames_sent = 0
+            self.frames_received = 0
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self.bytes_sent + self.bytes_received
+
+
+def send_frame(
+    sock: socket.socket,
+    message: Any,
+    *,
+    compress_min: int | None = None,
+    stats: WireStats | None = None,
+) -> None:
+    """Pickle ``message`` and send it as one length-prefixed frame.
+
+    With ``compress_min`` set, payloads at least that many pickled bytes
+    are zlib-compressed when that actually shrinks them, and the header
+    word's top bit is set so the receiver knows to inflate. ``stats``
+    (if given) counts the frame's on-wire bytes.
+    """
     payload = pickle.dumps(message)
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    header = len(payload)
+    if compress_min is not None and len(payload) >= compress_min:
+        squeezed = zlib.compress(payload)
+        if len(squeezed) < len(payload):
+            payload = squeezed
+            header = len(payload) | _COMPRESSED_FLAG
+    frame = _LENGTH.pack(header) + payload
+    sock.sendall(frame)
+    if stats is not None:
+        stats.add_sent(len(frame))
 
 
 def _recv_exact(sock: socket.socket, size: int) -> bytes:
@@ -110,12 +202,13 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Any:
-    """Receive one frame and unpickle it.
+def recv_frame(sock: socket.socket, *, stats: WireStats | None = None) -> Any:
+    """Receive one frame, inflate it if flagged, and unpickle it.
 
     Raises :class:`EOFError` on a clean close at a frame boundary and
-    :class:`RemoteProtocolError` on a mid-frame close or a corrupt
-    length prefix.
+    :class:`RemoteProtocolError` on a mid-frame close, a corrupt length
+    prefix, or a corrupt compressed payload. ``stats`` (if given) counts
+    the frame's on-wire bytes.
     """
     header = b""
     while len(header) < _LENGTH.size:
@@ -125,10 +218,20 @@ def recv_frame(sock: socket.socket) -> Any:
                 raise RemoteProtocolError("connection closed mid-length-prefix")
             raise EOFError("connection closed")
         header += chunk
-    (size,) = _LENGTH.unpack(header)
+    (word,) = _LENGTH.unpack(header)
+    compressed = bool(word & _COMPRESSED_FLAG)
+    size = word & (_COMPRESSED_FLAG - 1)
     if size > _MAX_FRAME_BYTES:
         raise RemoteProtocolError(f"frame length {size} exceeds {_MAX_FRAME_BYTES}")
-    return pickle.loads(_recv_exact(sock, size))
+    payload = _recv_exact(sock, size)
+    if stats is not None:
+        stats.add_received(_LENGTH.size + size)
+    if compressed:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise RemoteProtocolError(f"corrupt compressed frame: {exc}") from None
+    return pickle.loads(payload)
 
 
 def parse_worker_address(address: str | tuple[str, int]) -> tuple[str, int]:
@@ -174,10 +277,10 @@ def parse_worker_address(address: str | tuple[str, int]) -> tuple[str, int]:
 # --- server ----------------------------------------------------------------------
 
 
-def _run_call(payload: tuple[Callable[[Any], Any], Any]) -> Any:
-    """Local-pool entry point: apply the shipped callable to its item."""
-    fn, item = payload
-    return fn(item)
+def _run_chunk_call(payload: tuple[Callable[[Any], Any], list[Any]]) -> list[Any]:
+    """Local-pool entry point: run one shipped slab, cell by cell, in order."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
 
 
 class WorkerServer:
@@ -314,6 +417,9 @@ class WorkerServer:
                 conn, _peer = listener.accept()
             except OSError:
                 return  # listener closed by stop()
+            # Frames are small and strictly request/reply-shaped; Nagle
+            # buffering only delays them.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
                 self._connections.append(conn)
                 handler = threading.Thread(
@@ -328,6 +434,7 @@ class WorkerServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         send_lock = threading.Lock()
         in_flight: set[Future] = set()
+        compress_min: int | None = None
         try:
             hello = recv_frame(conn)
             if (
@@ -335,25 +442,58 @@ class WorkerServer:
                 or len(hello) != 2
                 or hello[0] != "hello"
                 or not isinstance(hello[1], dict)
-                or hello[1].get("protocol") != PROTOCOL_VERSION
             ):
-                send_frame(conn, ("error", None, "protocol mismatch"))
+                send_frame(conn, ("error", None, "protocol mismatch: bad hello frame"))
                 return
-            send_frame(conn, ("hello", {"slots": self.workers}))
+            client_version = hello[1].get("protocol")
+            if client_version != PROTOCOL_VERSION:
+                # Name both versions: a mixed-version fleet must fail the
+                # handshake with a diagnosis, not corrupt frames later.
+                send_frame(
+                    conn,
+                    (
+                        "error",
+                        None,
+                        f"protocol mismatch: this worker speaks "
+                        f"v{PROTOCOL_VERSION}, client offered "
+                        f"{client_version!r} — upgrade the older side",
+                    ),
+                )
+                return
+            offered_min = hello[1].get("compress_min")
+            if offered_min is not None and (
+                not isinstance(offered_min, int) or offered_min < 1
+            ):
+                send_frame(
+                    conn,
+                    ("error", None, f"protocol mismatch: bad compress_min {offered_min!r}"),
+                )
+                return
+            # Negotiated: echo the client's threshold and apply it to
+            # every frame this connection sends from here on.
+            compress_min = offered_min
+            send_frame(
+                conn, ("hello", {"slots": self.workers, "compress_min": compress_min})
+            )
             while True:
                 try:
                     message = recv_frame(conn)
                 except (EOFError, RemoteProtocolError, OSError):
                     break  # client hung up (or stop() closed us)
-                if not (isinstance(message, tuple) and message[0] == "job"):
+                if not (
+                    isinstance(message, tuple)
+                    and len(message) == 4
+                    and message[0] == "chunk"
+                    and isinstance(message[3], list)
+                ):
                     send_frame(conn, ("error", None, f"unexpected frame {message!r}"))
                     break
-                _kind, seq, fn, item = message
-                self._dispatch(conn, send_lock, in_flight, seq, fn, item)
+                _kind, seq, fn, chunk = message
+                self._dispatch(conn, send_lock, in_flight, compress_min, seq, fn, chunk)
         except (RemoteProtocolError, OSError, EOFError):
             pass  # torn connection: the client's retry logic owns recovery
         finally:
-            # Graceful drain: finish (and deliver, best-effort) every job
+            # Graceful drain: finish (and deliver, best-effort) every chunk
             # this connection already accepted before closing it.
             for future in list(in_flight):  # repro: ignore[RB101] join-only drain; order unobservable
                 try:
@@ -374,36 +514,39 @@ class WorkerServer:
         conn: socket.socket,
         send_lock: threading.Lock,
         in_flight: set[Future],
+        compress_min: int | None,
         seq: int,
         fn: Callable[[Any], Any],
-        item: Any,
+        chunk: list[Any],
     ) -> None:
         def deliver(reply: tuple) -> None:
             try:
                 with send_lock:
-                    send_frame(conn, reply)
+                    send_frame(conn, reply, compress_min=compress_min)
             except OSError:
-                pass  # client gone; it will re-queue the job elsewhere
+                pass  # client gone; it will re-queue the chunk elsewhere
 
         if self._executor is None:
-            deliver(_execute_reply(seq, fn, item))
+            deliver(_execute_reply(seq, fn, chunk))
             return
-        future = self._executor.submit(_run_call, (fn, item))
+        # One pool task per slab: the chunk is the unit of dispatch on
+        # both sides of the wire, so slot accounting stays in chunks.
+        future = self._executor.submit(_run_chunk_call, (fn, chunk))
         in_flight.add(future)
 
         def on_done(done: Future) -> None:
             in_flight.discard(done)
             try:
-                deliver(("result", seq, done.result()))
+                deliver(("chunk_result", seq, done.result()))
             except Exception as exc:
                 deliver(("error", seq, f"{type(exc).__name__}: {exc}"))
 
         future.add_done_callback(on_done)
 
 
-def _execute_reply(seq: int, fn: Callable[[Any], Any], item: Any) -> tuple:
+def _execute_reply(seq: int, fn: Callable[[Any], Any], chunk: list[Any]) -> tuple:
     try:
-        return ("result", seq, fn(item))
+        return ("chunk_result", seq, _run_chunk_call((fn, chunk)))
     except Exception as exc:
         return ("error", seq, f"{type(exc).__name__}: {exc}")
 
@@ -429,17 +572,40 @@ def _quietly_close(sock: socket.socket) -> None:
 class _WorkerConnection:
     """One live connection to a fleet member, with its pipelining window."""
 
-    def __init__(self, address: tuple[str, int], timeout: float) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float,
+        *,
+        compress_min: int | None = None,
+    ) -> None:
         self.address = address
         self.sock = socket.create_connection(address, timeout=timeout)
         try:
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             # Handshake under the connect timeout, then block freely: job
             # durations are workload-dependent and unbounded.
-            send_frame(self.sock, ("hello", {"protocol": PROTOCOL_VERSION}))
+            send_frame(
+                self.sock,
+                ("hello", {"protocol": PROTOCOL_VERSION, "compress_min": compress_min}),
+            )
             reply = recv_frame(self.sock)
+            if (
+                isinstance(reply, tuple)
+                and len(reply) == 3
+                and reply[0] == "error"
+                and reply[1] is None
+            ):
+                # The server refused the handshake and said why (e.g. a
+                # protocol-version mismatch in a mixed fleet) — surface
+                # its diagnosis verbatim.
+                raise RemoteProtocolError(
+                    f"worker {address[0]}:{address[1]} refused the handshake: {reply[2]}"
+                )
             if not (isinstance(reply, tuple) and reply[0] == "hello"):
                 raise RemoteProtocolError(f"bad handshake reply from {address}: {reply!r}")
             self.slots = max(1, int(reply[1].get("slots", 1)))
+            self.compress_min = reply[1].get("compress_min")
             self.sock.settimeout(None)
         except BaseException:
             _quietly_close(self.sock)
@@ -461,19 +627,27 @@ class RemoteMapper:
     without a single socket — and reused across dispatches until
     :meth:`close`.
 
-    Dispatch runs one client thread per connected worker, each keeping up
-    to the worker's advertised ``slots`` jobs in flight. Results carry
-    their submission sequence number and land at that index, so the map
-    is order-preserving regardless of which worker finishes what first.
+    Dispatch is *chunked*: the grid is split into contiguous slabs (see
+    :mod:`repro.core.chunking` — explicit ``chunk_size``, or the auto
+    heuristic over the fleet's total advertised slots) and one frame
+    carries one slab, amortizing the framed-pickle round-trip per cell.
+    One client thread drives each connected worker, keeping up to the
+    worker's advertised ``slots`` *chunks* in flight. Replies carry the
+    chunk's submission sequence number and land at that index; slabs are
+    contiguous, so the flattened map is order-preserving regardless of
+    which worker finishes what first. :attr:`last_chunk_size` records
+    the resolved slab size of the most recent dispatch (provenance);
+    :attr:`wire_stats` accumulates on-wire byte counts across
+    dispatches (the perf harness's ``bytes_per_cell`` source).
 
     Failure policy: the whole roster must be reachable at first dispatch
     (a member that is down before the run even starts is a
     misconfiguration, and tolerating it would falsify the recorded
     roster); after that, a worker that disconnects mid-grid has its
-    in-flight jobs re-queued to the surviving workers (at most
-    ``retries`` times per job — jobs are deterministic, so re-execution
-    cannot change results, only recover them); a job that *raises*
-    inside a worker is a real workload failure and surfaces as
+    in-flight chunks re-queued to the surviving workers (at most
+    ``retries`` times per chunk — cells are deterministic, so
+    re-execution cannot change results, only recover them); a cell that
+    *raises* inside a worker is a real workload failure and surfaces as
     :class:`RemoteJobError`; losing every worker raises
     :class:`RemoteDispatchError`.
     """
@@ -484,12 +658,20 @@ class RemoteMapper:
         *,
         retries: int = 3,
         connect_timeout: float = 10.0,
+        chunk_size: int | None = None,
+        compress_min: int | None = COMPRESS_MIN_BYTES,
     ) -> None:
         if not workers:
             raise RemoteDispatchError("remote mapper needs at least one worker address")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
         self.addresses = [parse_worker_address(worker) for worker in workers]
         self.retries = retries
         self.connect_timeout = connect_timeout
+        self.chunk_size = chunk_size
+        self.compress_min = compress_min
+        self.last_chunk_size: int | None = None
+        self.wire_stats = WireStats()
         self._connections: list[_WorkerConnection] = []
 
     @property
@@ -499,6 +681,16 @@ class RemoteMapper:
 
     # --- lifecycle -------------------------------------------------------------
 
+    def connect(self) -> "RemoteMapper":
+        """Open (and keep) the fleet connections now instead of lazily.
+
+        Idempotent pre-warm for callers that time dispatches (the perf
+        harness warms the fleet here so timed samples measure
+        steady-state throughput, not TCP connect plus handshake).
+        """
+        self._connect_all()
+        return self
+
     def _connect_all(self) -> list[_WorkerConnection]:
         if self._connections:
             return self._connections
@@ -506,7 +698,11 @@ class RemoteMapper:
         failures: list[str] = []
         for address in self.addresses:
             try:
-                connections.append(_WorkerConnection(address, self.connect_timeout))
+                connections.append(
+                    _WorkerConnection(
+                        address, self.connect_timeout, compress_min=self.compress_min
+                    )
+                )
             except (OSError, RemoteError) as exc:
                 failures.append(f"{address[0]}:{address[1]}: {exc}")
         if failures:
@@ -541,8 +737,13 @@ class RemoteMapper:
         items = list(items)
         if not items:
             return []
-        state = _DispatchState(fn, items, self.retries)
+        # Connect before chunking: the auto heuristic spreads slabs over
+        # the fleet's total advertised slots, known only after the hello.
         connections = self._connect_all()
+        slots = sum(connection.slots for connection in connections)
+        size = resolve_chunk_size(self.chunk_size, len(items), max(1, slots))
+        self.last_chunk_size = size
+        state = _DispatchState(fn, chunk_items(items, size), self.retries)
         threads = [
             threading.Thread(
                 target=self._drive_worker,
@@ -559,10 +760,15 @@ class RemoteMapper:
         # Dead connections were discarded by their driver threads; keep
         # the survivors for the next dispatch.
         self._connections = [c for c in connections if c not in state.dead]
-        return state.finish()
+        results: list[Any] = []
+        for chunk_result in state.finish():
+            results.extend(chunk_result)
+        return results
 
     def _drive_worker(self, connection: _WorkerConnection, state: "_DispatchState") -> None:
         in_flight: set[int] = set()
+        compress_min = connection.compress_min
+        stats = self.wire_stats
         try:
             while True:
                 while len(in_flight) < connection.slots:
@@ -572,18 +778,23 @@ class RemoteMapper:
                     # In-flight BEFORE the send: if sendall raises (the
                     # worker died, or the payload failed to pickle), the
                     # except path below must re-queue this seq too — a
-                    # claimed-but-untracked job would be lost and the
+                    # claimed-but-untracked chunk would be lost and the
                     # surviving drivers would park forever waiting for it.
                     in_flight.add(seq)
-                    send_frame(connection.sock, ("job", seq, state.fn, state.items[seq]))
+                    send_frame(
+                        connection.sock,
+                        ("chunk", seq, state.fn, state.items[seq]),
+                        compress_min=compress_min,
+                        stats=stats,
+                    )
                 if in_flight:
-                    kind, seq, payload = recv_frame(connection.sock)
+                    kind, seq, payload = recv_frame(connection.sock, stats=stats)
                     if kind == "error" and seq is None:
                         # A seq-less error is the server rejecting the
                         # dialogue itself (protocol mismatch, unexpected
-                        # frame), not the outcome of any job — surfacing
-                        # it as "job None failed" would misattribute it.
-                        # Raising hands this driver's in-flight jobs to
+                        # frame), not the outcome of any chunk — surfacing
+                        # it as "chunk None failed" would misattribute it.
+                        # Raising hands this driver's in-flight chunks to
                         # the survivors via the except path below.
                         raise RemoteProtocolError(
                             f"worker {connection.address[0]}:"
@@ -591,14 +802,14 @@ class RemoteMapper:
                             f"dispatch: {payload}"
                         )
                     in_flight.discard(seq)
-                    if kind == "result":
+                    if kind == "chunk_result":
                         state.complete(seq, payload)
                     elif kind == "error":
                         state.fail(RemoteJobError(
-                            f"job {seq} failed on {connection.address[0]}:"
+                            f"chunk {seq} failed on {connection.address[0]}:"
                             f"{connection.address[1]}: {payload}"))
                         # The socket may still carry replies for this
-                        # driver's other in-flight jobs; a reused mapper
+                        # driver's other in-flight chunks; a reused mapper
                         # must never read those stale frames as results
                         # of a *later* dispatch — drop the connection.
                         connection.close()
@@ -610,15 +821,15 @@ class RemoteMapper:
                 if state.settled():
                     return
                 # Idle but the grid is not settled: other workers hold
-                # in-flight jobs that may yet be re-queued our way if
+                # in-flight chunks that may yet be re-queued our way if
                 # their worker disconnects. Wait instead of exiting, or
-                # those jobs would have no surviving driver to run them.
+                # those chunks would have no surviving driver to run them.
                 state.wait_for_work()
         except Exception as exc:
             # This worker is gone (socket error, protocol violation, or a
-            # send-side pickling failure): hand its in-flight jobs back
+            # send-side pickling failure): hand its in-flight chunks back
             # for the survivors and report the loss — fatal only if it
-            # was the last worker or a job ran out of retry budget. A
+            # was the last worker or a chunk ran out of retry budget. A
             # bare `return` above never lands here, so a job-level error
             # (RemoteJobError) still fails the dispatch instead of
             # retrying deterministically-failing work.
@@ -657,7 +868,7 @@ class _DispatchState:
         self._cv = threading.Condition()
 
     def claim(self) -> int | None:
-        """Take the next unassigned job index (None when drained/failed)."""
+        """Take the next unassigned chunk index (None when drained/failed)."""
         with self._cv:
             if self.error is not None:
                 return None
@@ -690,7 +901,7 @@ class _DispatchState:
                 if self.attempts[seq] > self.retries:
                     if self.error is None:
                         self.error = RemoteDispatchError(
-                            f"job {seq} exhausted {self.retries} retries "
+                            f"chunk {seq} exhausted {self.retries} retries "
                             f"(last worker {connection.address[0]}:"
                             f"{connection.address[1]} failed: {cause})"
                         )
@@ -699,7 +910,7 @@ class _DispatchState:
             self._cv.notify_all()
 
     def settled(self) -> bool:
-        """True once every job completed — or the dispatch failed."""
+        """True once every chunk completed — or the dispatch failed."""
         with self._cv:
             return self.error is not None or self.completed == len(self.items)
 
@@ -723,7 +934,7 @@ class _DispatchState:
         if missing:
             cause = f"; last worker failure: {self.last_failure}" if self.last_failure else ""
             raise RemoteDispatchError(
-                f"{len(missing)} job(s) unassigned after every worker disconnected "
+                f"{len(missing)} chunk(s) unassigned after every worker disconnected "
                 f"(first missing: {missing[0]}){cause}"
             )
         return self.results

@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.core.chunking import chunk_items, resolve_chunk_size
 from repro.core.stats import Summary, summarize
 from repro.errors import ConfigurationError
 from repro.platforms.base import Platform
@@ -45,6 +46,7 @@ __all__ = [
     "Runner",
     "RepJob",
     "run_rep_job",
+    "run_chunk",
     "grid_mapper",
     "rep_mapper",
     "PoolMapper",
@@ -88,6 +90,17 @@ def run_rep_job(job: RepJob) -> Any:
     return job.run()
 
 
+def run_chunk(payload: tuple[Callable[[Any], Any], list[Any]]) -> list[Any]:
+    """Module-level chunk entry point (picklable by reference).
+
+    One pool future (or one remote frame) carries one ``(fn, slab)``
+    payload; the cells inside the slab run serially in submission order,
+    so the flattened per-slab results are exactly the serial results.
+    """
+    fn, chunk = payload
+    return [fn(item) for item in chunk]
+
+
 def _serial_map(fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
     return [fn(item) for item in items]
 
@@ -103,11 +116,22 @@ class PoolMapper:
     release the workers; the scheduler's job wrapper owns that lifetime
     via an :class:`contextlib.ExitStack`, so the pool is released even
     when a figure raises mid-grid.
+
+    Dispatch is *chunked*: the grid is split into contiguous slabs (see
+    :mod:`repro.core.chunking` — explicit ``chunk_size``, or the auto
+    heuristic over this pool's width) and one future carries one slab,
+    amortizing the submit/pickle overhead per cell. ``Executor.map``
+    preserves slab order and :func:`run_chunk` preserves intra-slab
+    order, so results stay bit-identical to serial for every chunk
+    size. :attr:`last_chunk_size` records the resolved slab size of the
+    most recent dispatch (provenance).
     """
 
-    def __init__(self, backend: str, jobs: int) -> None:
+    def __init__(self, backend: str, jobs: int, *, chunk_size: int | None = None) -> None:
         self.backend = backend
         self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.last_chunk_size: int | None = None
         self._executor: ThreadPoolExecutor | ProcessPoolExecutor | None = None
 
     def __call__(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
@@ -119,7 +143,15 @@ class PoolMapper:
                 ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
             )
             self._executor = executor_class(max_workers=self.jobs)
-        return list(self._executor.map(fn, items))
+        size = resolve_chunk_size(self.chunk_size, len(items), self.jobs)
+        self.last_chunk_size = size
+        if size == 1:
+            return list(self._executor.map(fn, items))
+        payloads = [(fn, chunk) for chunk in chunk_items(items, size)]
+        results: list[Any] = []
+        for chunk_result in self._executor.map(run_chunk, payloads):
+            results.extend(chunk_result)
+        return results
 
     def close(self) -> None:
         """Shut the pool down (idempotent; the mapper may be used again)."""
@@ -138,21 +170,28 @@ def grid_mapper(
     backend: str,
     jobs: int,
     workers: Iterable[str] | None = None,
+    chunk_size: int | None = None,
 ) -> Mapper:
     """An order-preserving mapper for the given grid backend and width.
 
     ``serial`` maps in-process; ``thread``/``process`` return a
-    :class:`PoolMapper` that fans items over a ``concurrent.futures`` pool
-    (``Executor.map`` preserves input order); ``remote`` returns a
-    :class:`~repro.core.remote.RemoteMapper` that fans items over the
+    :class:`PoolMapper` that fans contiguous item slabs over a
+    ``concurrent.futures`` pool (``Executor.map`` preserves input
+    order); ``remote`` returns a
+    :class:`~repro.core.remote.RemoteMapper` that fans slabs over the
     ``workers`` fleet (``host:port`` addresses) with sequence-numbered
     reassembly. A width of one collapses the local pool backends to the
     serial map; the remote backend's parallelism is the fleet's, so
     ``jobs`` does not apply to it.
 
+    ``chunk_size`` fixes the dispatch slab size for the non-serial
+    backends (``None`` = the :mod:`repro.core.chunking` auto heuristic,
+    resolved per dispatch); the serial map has no dispatch boundary, so
+    chunking does not apply to it.
+
     Every backend produces bit-identical results for the same grid —
     cell streams are derived before dispatch and every mapper preserves
-    input order (see ``docs/ARCHITECTURE.md``).
+    input order (see ``docs/ARCHITECTURE.md``) — for every chunk size.
     """
     if backend not in GRID_BACKENDS:
         raise ConfigurationError(
@@ -160,6 +199,8 @@ def grid_mapper(
         )
     if jobs < 1:
         raise ConfigurationError(f"grid jobs must be >= 1, got {jobs}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
     if backend == "remote":
         # Imported here: remote is a leaf backend built on this module's
         # mapper seam, not a dependency of every runner user.
@@ -170,10 +211,10 @@ def grid_mapper(
                 "grid backend 'remote' needs at least one worker address "
                 "(host:port) — start one with: repro-bench worker --port P"
             )
-        return RemoteMapper(list(workers))
+        return RemoteMapper(list(workers), chunk_size=chunk_size)
     if backend == "serial" or jobs == 1:
         return _serial_map
-    return PoolMapper(backend, jobs)
+    return PoolMapper(backend, jobs, chunk_size=chunk_size)
 
 
 #: Back-compat alias from the repetition-parallelism era (PR 2).

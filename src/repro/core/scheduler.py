@@ -108,6 +108,16 @@ class ExecutionPolicy:
     server, see :mod:`repro.core.storenet`) — like the worker roster,
     *where* cached results live is deployment policy, not code.
 
+    ``chunk_size`` is the dispatch-granularity knob (CLI: ``run
+    --chunk-size N``): non-serial grid backends ship contiguous slabs of
+    that many cells per dispatch unit (one pool future, one remote
+    frame) instead of one cell each — see :mod:`repro.core.chunking`.
+    ``None`` (the default) resolves per dispatch via the documented auto
+    heuristic; the knob is inert on the serial backend. This is the
+    RAFDA position applied to granularity: how coarsely a grid crosses
+    the dispatch boundary is deployment policy the middleware owns, and
+    results are bit-identical for every setting.
+
     ``docs/ARCHITECTURE.md`` diagrams where the policy sits in the run
     path; ``docs/OPERATIONS.md`` is the runbook for the fleet pieces it
     names.
@@ -119,6 +129,7 @@ class ExecutionPolicy:
     grid_backend: str | None = None
     workers: tuple[str, ...] = ()
     store_url: str | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -127,6 +138,10 @@ class ExecutionPolicy:
             raise ConfigurationError(f"unknown backend {self.backend!r}")
         if self.grid_jobs < 1:
             raise ConfigurationError(f"grid_jobs must be >= 1, got {self.grid_jobs}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
         if self.grid_backend is not None and self.grid_backend not in GRID_BACKENDS:
             raise ConfigurationError(
                 f"unknown grid backend {self.grid_backend!r}; "
@@ -176,7 +191,10 @@ class ExecutionPolicy:
     def mapper(self) -> Mapper:
         """The order-preserving grid mapper this policy prescribes."""
         return grid_mapper(
-            self.resolved_grid_backend, self.grid_jobs, workers=self.workers or None
+            self.resolved_grid_backend,
+            self.grid_jobs,
+            workers=self.workers or None,
+            chunk_size=self.chunk_size,
         )
 
     @classmethod
@@ -204,6 +222,8 @@ class ExperimentJob:
     grid_backend: str = BACKEND_SERIAL
     grid_jobs: int = 1
     workers: tuple[str, ...] = ()
+    #: Dispatch slab size prescribed by the policy (None = auto).
+    chunk_size: int | None = None
 
     @classmethod
     def build(
@@ -215,6 +235,7 @@ class ExperimentJob:
         grid_backend: str = BACKEND_SERIAL,
         grid_jobs: int = 1,
         workers: tuple[str, ...] = (),
+        chunk_size: int | None = None,
     ) -> "ExperimentJob":
         """Create a job; its identity seed comes from the shared seed tree."""
         frozen = tuple(sorted(kwargs.items(), key=lambda item: item[0]))
@@ -226,6 +247,7 @@ class ExperimentJob:
             grid_backend=grid_backend,
             grid_jobs=grid_jobs,
             workers=tuple(workers),
+            chunk_size=chunk_size,
         )
 
     def kwargs_dict(self) -> dict[str, Any]:
@@ -259,9 +281,11 @@ class _CountingMapper:
         return self.inner(fn, items)
 
 
-#: One job's outcome: (result, error message, wall time, grid width) —
-#: exactly one of result/error is set; grid width is None on failure.
-JobOutcome = tuple[FigureResult | None, str | None, float, int | None]
+#: One job's outcome: (result, error message, wall time, grid width,
+#: resolved chunk size) — exactly one of result/error is set; grid width
+#: and chunk size are None on failure (and chunk size also for mappers
+#: with no dispatch boundary, i.e. serial).
+JobOutcome = tuple[FigureResult | None, str | None, float, int | None, int | None]
 
 
 def _execute_job(job: ExperimentJob) -> JobOutcome:
@@ -279,7 +303,12 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
     """
     started = time.perf_counter()
     try:
-        mapper = grid_mapper(job.grid_backend, job.grid_jobs, workers=job.workers or None)
+        mapper = grid_mapper(
+            job.grid_backend,
+            job.grid_jobs,
+            workers=job.workers or None,
+            chunk_size=job.chunk_size,
+        )
         counting = _CountingMapper(mapper)
         with contextlib.ExitStack() as stack:
             if hasattr(mapper, "__exit__"):
@@ -290,9 +319,12 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
                 stack.enter_context(mapper)
             stack.enter_context(execution_context(counting))
             result = run_figure(job.figure_id, job.seed, **job.kwargs_dict())
-        return result, None, time.perf_counter() - started, counting.dispatched
+        # The *resolved* slab size (auto heuristics resolve per dispatch);
+        # the serial map has no dispatch boundary and reports None.
+        chunk_size = getattr(mapper, "last_chunk_size", None)
+        return result, None, time.perf_counter() - started, counting.dispatched, chunk_size
     except Exception as exc:
-        return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started, None
+        return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started, None, None
 
 
 @dataclass
@@ -322,6 +354,9 @@ class JobRecord:
     #: Worker roster the grid fanned over (None unless the job ran on
     #: the remote grid backend).
     workers: tuple[str, ...] | None = None
+    #: Resolved dispatch slab size of the last grid dispatch (None for
+    #: cache hits, failures, and the serial backend).
+    chunk_size: int | None = None
 
     @property
     def cache_hit(self) -> bool:
@@ -344,6 +379,7 @@ class JobRecord:
             "grid_jobs": self.grid_jobs,
             "grid_width": self.grid_width,
             "workers": list(self.workers) if self.workers is not None else None,
+            "chunk_size": self.chunk_size,
         }
 
 
@@ -548,6 +584,7 @@ class ExperimentScheduler:
                         grid_backend=self.policy.resolved_grid_backend,
                         grid_jobs=self.policy.grid_jobs,
                         workers=self.policy.workers,
+                        chunk_size=self.policy.chunk_size,
                     ),
                     key,
                 )
@@ -561,7 +598,9 @@ class ExperimentScheduler:
             # A single pending job gains nothing from a pool; run in-process.
             backend = BACKEND_SERIAL
             outcomes = self._run_serial(pending)
-        for (job, key), (result, error, elapsed, grid_width) in zip(pending, outcomes):
+        for (job, key), (result, error, elapsed, grid_width, chunk_size) in zip(
+            pending, outcomes
+        ):
             record = JobRecord(
                 figure_id=job.figure_id,
                 digest=key.digest,
@@ -576,6 +615,7 @@ class ExperimentScheduler:
                 grid_jobs=job.grid_jobs,
                 grid_width=grid_width,
                 workers=job.workers or None,
+                chunk_size=chunk_size,
             )
             report.records.append(record)
             if result is None:
@@ -584,6 +624,7 @@ class ExperimentScheduler:
                 result, key, backend, "miss", elapsed, job.job_seed,
                 grid_backend=job.grid_backend, grid_jobs=job.grid_jobs,
                 grid_width=grid_width, workers=job.workers or None,
+                chunk_size=chunk_size,
             )
             if self.store is not None:
                 self.store.put(key, result)
@@ -612,7 +653,7 @@ class ExperimentScheduler:
                     # payload) reach here — figure errors are captured
                     # in-worker by _execute_job.
                     outcomes.append((None, f"{type(exc).__name__}: {exc}",
-                                     time.perf_counter() - started, None))
+                                     time.perf_counter() - started, None, None))
         return outcomes
 
     def _attach_provenance(
@@ -627,6 +668,7 @@ class ExperimentScheduler:
         grid_jobs: int = 1,
         grid_width: int | None = None,
         workers: tuple[str, ...] | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         result.metadata["provenance"] = {
             "backend": backend,
@@ -634,6 +676,7 @@ class ExperimentScheduler:
             "grid_jobs": grid_jobs,
             "grid_width": grid_width,
             "workers": list(workers) if workers is not None else None,
+            "chunk_size": chunk_size,
             "cache": cache,
             "store": self.store_address,
             "wall_time_s": round(wall_time_s, 6),

@@ -214,6 +214,9 @@ class StoreServer:
                 conn, _peer = listener.accept()
             except OSError:
                 return  # listener closed by stop()
+            # Store traffic is small request/reply frames; Nagle
+            # buffering only delays them.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
                 self._connections.append(conn)
                 handler = threading.Thread(
@@ -333,6 +336,7 @@ class RemoteStore:
             raise RemoteStoreError(
                 f"could not reach result store {self.url}: {exc}"
             ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             # Handshake under the connect timeout, then block freely.
             send_frame(

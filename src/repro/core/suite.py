@@ -63,6 +63,7 @@ class BenchmarkSuite:
         grid_backend: str | None = None,
         workers: tuple[str, ...] | list[str] = (),
         store_url: str | None = None,
+        chunk_size: int | None = None,
         policy: ExecutionPolicy | None = None,
         cache_dir: str | pathlib.Path | None = None,
         cache_max_bytes: int | None = None,
@@ -77,6 +78,7 @@ class BenchmarkSuite:
             grid_backend=grid_backend,
             workers=tuple(workers),
             store_url=store_url,
+            chunk_size=chunk_size,
         )
         if store is None:
             store = (
@@ -228,6 +230,10 @@ class BenchmarkSuite:
         workers = (
             f"workers={','.join(self.policy.workers)} " if self.policy.workers else ""
         )
+        chunk = (
+            f"chunk_size={self.policy.chunk_size} "
+            if self.policy.chunk_size is not None else ""
+        )
         return (
             f"Isolation-platform benchmark suite (seed={self.seed})\n"
             f"Simulated testbed: {self.machine.describe()}\n"
@@ -236,6 +242,7 @@ class BenchmarkSuite:
             f"grid_backend={self.policy.resolved_grid_backend} "
             f"grid_jobs={self.policy.grid_jobs} "
             f"{workers}"
+            f"{chunk}"
             f"store={self.store.describe() if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
         )
@@ -273,6 +280,7 @@ class BenchmarkSuite:
                     "grid_backend": self.policy.resolved_grid_backend,
                     "grid_jobs": self.policy.grid_jobs,
                     "workers": list(self.policy.workers),
+                    "chunk_size": self.policy.chunk_size,
                     "store": self.scheduler.store_address,
                     "machine": self.machine.describe(),
                     "figures": [p.name for p in written],

@@ -353,6 +353,53 @@ class TestProtocolHygieneRule:
         assert codes_of(findings) == [self.CODE]
         assert "error" in findings[0].message
 
+    def test_unhandled_chunk_reply_arm_is_caught(self, lint_source, codes_of):
+        # The v2 chunked dispatch frames: a client that receives both
+        # ("chunk_result", ...) and ("error", ...) replies must string-
+        # compare both tags; dropping the chunk_result arm fails analysis.
+        source = dedent(
+            """
+            def send_frame(sock, message):
+                sock.sendall(message)
+
+            def worker(sock, seq, values):
+                send_frame(sock, ("chunk_result", seq, values))
+                send_frame(sock, ("error", seq, "boom"))
+
+            def client(message):
+                tag = message[0]
+                if tag == "error":
+                    raise RuntimeError(message[2])
+            """
+        )
+        findings = lint_source(source, rules=[self.CODE])
+        assert codes_of(findings) == [self.CODE]
+        assert "chunk_result" in findings[0].message
+
+    def test_complete_chunk_protocol_is_clean(self, lint_source):
+        # The shape remote.py actually ships: hello + chunk work frames,
+        # every tag matched by a handler arm, version as a named constant.
+        source = dedent(
+            """
+            PROTOCOL_VERSION = 2
+
+            def send_frame(sock, message):
+                sock.sendall(message)
+
+            def client(sock, seq, fn, chunk):
+                send_frame(sock, ("hello", {"protocol": PROTOCOL_VERSION}))
+                send_frame(sock, ("chunk", seq, fn, chunk))
+
+            def serve(sock, message):
+                tag = message[0]
+                if tag == "hello":
+                    return None
+                if tag == "chunk":
+                    return message[3]
+            """
+        )
+        assert lint_source(source, rules=[self.CODE]) == []
+
 
 # ---------------------------------------------------------------------------
 # Real-tree spot checks: the rules run clean on the modules whose bug

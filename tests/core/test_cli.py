@@ -200,3 +200,53 @@ class TestCommands:
         capsys.readouterr()
         total = sum(p.stat().st_size for p in (tmp_path / "cache").glob("*.json"))
         assert total <= 1024 * 1024
+
+
+class TestChunkSizeCli:
+    def test_run_and_plan_accept_chunk_size(self):
+        args = build_parser().parse_args(["run", "fig11", "--chunk-size", "8"])
+        assert args.chunk_size == 8
+        assert build_parser().parse_args(["run", "fig11"]).chunk_size is None
+        assert build_parser().parse_args(
+            ["plan", "fig11", "--chunk-size", "8"]
+        ).chunk_size == 8
+
+    def test_chunked_run_bit_identical_to_serial(self, capsys):
+        assert main(["run", "fig12", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["run", "fig12", "--quick", "--grid-jobs", "2", "--chunk-size", "7"]
+        ) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_chunk_size_in_provenance_line(self, capsys):
+        assert main([
+            "run", "fig11", "--quick", "--grid-jobs", "2",
+            "--chunk-size", "4", "--provenance",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chunk=4" in out
+
+    def test_invalid_chunk_size_is_a_clean_error(self, capsys):
+        assert main([
+            "run", "fig11", "--quick", "--grid-jobs", "2", "--chunk-size", "0"
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro-bench: error:" in err
+        assert "chunk_size" in err
+        assert "Traceback" not in err
+
+    def test_plan_shows_explicit_and_auto_chunk_size(self, capsys):
+        assert main([
+            "plan", "fig09", "--quick", "--grid-jobs", "2", "--chunk-size", "5"
+        ]) == 0
+        assert "chunk-size=5" in capsys.readouterr().out
+        assert main(["plan", "fig09", "--quick", "--grid-jobs", "2"]) == 0
+        assert "chunk-size=auto" in capsys.readouterr().out
+
+    def test_dry_run_shows_chunk_size(self, capsys):
+        assert main([
+            "run", "fig05", "--quick", "--dry-run", "--grid-jobs", "2",
+            "--chunk-size", "9",
+        ]) == 0
+        assert "chunk-size=9" in capsys.readouterr().out

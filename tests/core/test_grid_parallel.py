@@ -242,8 +242,10 @@ class TestMapperLifetime:
         created = []
         real_grid_mapper = scheduler_module.grid_mapper
 
-        def tracking_grid_mapper(backend, jobs, workers=None):
-            mapper = real_grid_mapper(backend, jobs, workers=workers)
+        def tracking_grid_mapper(backend, jobs, workers=None, chunk_size=None):
+            mapper = real_grid_mapper(
+                backend, jobs, workers=workers, chunk_size=chunk_size
+            )
             if isinstance(mapper, PoolMapper):
                 created.append(mapper)
             return mapper
@@ -356,3 +358,104 @@ class TestGridLevelDeterminism:
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         assert manifest["grid_backend"] == BACKEND_PROCESS
         assert manifest["grid_jobs"] == 2
+
+
+def _plus_one(value):
+    """Module-level so the process mapper can pickle it."""
+    return value + 1
+
+
+class TestChunkedGridPolicy:
+    """chunk_size as deployment policy: mapper, scheduler, provenance."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 30, 45])
+    def test_thread_mapper_bit_identical_across_chunk_sizes(self, chunk_size):
+        # Non-dividing, unit, exact-width, and wider-than-grid sizes all
+        # flatten back to the serial result order.
+        items = list(range(30))
+        with grid_mapper("thread", 2, chunk_size=chunk_size) as mapper:
+            assert mapper(_plus_one, items) == [item + 1 for item in items]
+            assert mapper.last_chunk_size == chunk_size
+
+    def test_process_mapper_chunked_matches_serial(self):
+        with grid_mapper("process", 2, chunk_size=7) as mapper:
+            assert mapper(_plus_one, list(range(30))) == list(range(1, 31))
+            assert mapper.last_chunk_size == 7
+
+    def test_chunked_order_preserved_under_out_of_order_completion(self):
+        total = 6
+        items = [(index, total) for index in range(total)]
+        with grid_mapper("thread", 3, chunk_size=2) as mapper:
+            assert mapper(_sleepy_identity, items) == list(range(total))
+
+    def test_auto_chunk_size_recorded_after_dispatch(self):
+        with grid_mapper("thread", 2) as mapper:
+            mapper(_plus_one, list(range(30)))
+            assert mapper.last_chunk_size == 4  # ceil(30 / (4 * 2))
+
+    def test_serial_backend_ignores_chunk_size(self):
+        mapper = grid_mapper("serial", 1, chunk_size=5)
+        assert mapper(_plus_one, [1, 2]) == [2, 3]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            grid_mapper("thread", 2, chunk_size=0)
+        with pytest.raises(ConfigurationError, match="chunk_size must be >= 1"):
+            ExecutionPolicy(chunk_size=0)
+
+    def test_policy_threads_chunk_size_to_the_mapper(self):
+        policy = ExecutionPolicy(grid_jobs=2, chunk_size=5)
+        mapper = policy.mapper()
+        assert isinstance(mapper, PoolMapper)
+        assert mapper.chunk_size == 5
+
+    def test_chunk_size_is_execution_detail_not_identity(self):
+        job = ExperimentJob.build("fig11", 42, {}, chunk_size=8)
+        assert job.chunk_size == 8
+        assert job.job_seed == ExperimentJob.build("fig11", 42, {}).job_seed
+
+
+class TestChunkedSchedulerProvenance:
+    def test_explicit_chunk_size_recorded(self):
+        policy = ExecutionPolicy(
+            grid_jobs=2, grid_backend=BACKEND_THREAD, chunk_size=4
+        )
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(["fig11"])
+        assert report.results["fig11"].provenance["chunk_size"] == 4
+        record = report.record_for("fig11")
+        assert record.chunk_size == 4
+        assert record.to_dict()["chunk_size"] == 4
+
+    def test_auto_resolution_is_what_gets_recorded(self):
+        # The knob was unset; provenance records the slab size that
+        # actually ran: ceil(30 / (4 * 2)) = 4.
+        policy = ExecutionPolicy(grid_jobs=2, grid_backend=BACKEND_THREAD)
+        report = ExperimentScheduler(42, quick=True, policy=policy).run(["fig11"])
+        assert report.results["fig11"].provenance["chunk_size"] == 4
+        assert report.record_for("fig11").chunk_size == 4
+
+    def test_serial_run_records_no_chunk_size(self):
+        report = ExperimentScheduler(42, quick=True).run(["fig11"])
+        assert report.results["fig11"].provenance["chunk_size"] is None
+        assert report.record_for("fig11").chunk_size is None
+
+    def test_chunked_backends_bit_identical_to_serial(self, grid_backend):
+        serial = ExperimentScheduler(42, quick=True).run(["fig11"])
+        report = ExperimentScheduler(
+            42, quick=True, policy=grid_backend.policy(chunk_size=7)
+        ).run(["fig11"])
+        assert (
+            report.results["fig11"].comparable_dict()
+            == serial.results["fig11"].comparable_dict()
+        )
+
+    def test_suite_chunk_size_bit_identical_and_recorded(self, tmp_path):
+        serial = BenchmarkSuite(seed=42, quick=True).run_figure("fig12")
+        suite = BenchmarkSuite(seed=42, quick=True, grid_jobs=2, chunk_size=3)
+        assert suite.run_figure("fig12").comparable_dict() == serial.comparable_dict()
+        assert "chunk_size=3" in suite.describe()
+        suite.save_results(tmp_path)
+        import json
+
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["chunk_size"] == 3

@@ -90,14 +90,21 @@ class TestMetricKeys:
         assert metric_keys() == metric_keys()
         assert metric_keys(quick=True) == metric_keys(quick=False)
 
-    def test_covers_all_three_families(self):
+    def test_covers_all_families(self):
         families = {key.split("/", 1)[0] for key in metric_keys()}
-        assert families == {"grid_cells_per_s", "store_queries_per_s", "lowering_ms"}
+        assert families == {
+            "grid_cells_per_s", "bytes_per_cell", "store_queries_per_s",
+            "lowering_ms",
+        }
 
     def test_grid_backends_include_serial_process_remote(self):
         keys = metric_keys()
-        for backend in ("serial", "process", "remote-loopback"):
+        for backend in (
+            "serial", "process", "process@chunked",
+            "remote-loopback", "remote-loopback@chunked",
+        ):
             assert f"grid_cells_per_s/{backend}" in keys
+        assert "bytes_per_cell/remote-loopback" in keys
 
 
 class TestSchema:

@@ -166,10 +166,24 @@ class TestFraming:
             right.close()
 
     def test_absurd_length_prefix_rejected_before_allocation(self):
+        # The top header bit is the compression flag, not part of the
+        # length — the size check reads the low 31 bits only.
         left, right = self._pair()
-        left.sendall((1 << 31).to_bytes(4, "big"))
+        left.sendall(((1 << 30) + 1).to_bytes(4, "big"))
         try:
             with pytest.raises(RemoteProtocolError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_corrupt_compressed_payload_is_a_protocol_error(self):
+        # Compressed flag set, but the payload is not valid zlib data.
+        left, right = self._pair()
+        junk = b"not zlib at all"
+        left.sendall((len(junk) | (1 << 31)).to_bytes(4, "big") + junk)
+        try:
+            with pytest.raises(RemoteProtocolError, match="corrupt compressed"):
                 recv_frame(right)
         finally:
             left.close()
@@ -375,11 +389,147 @@ class TestRemoteMapper:
             grid_mapper("remote", 1)
 
 
+class TestChunkedDispatch:
+    """The v2 chunk frames: slab plumbing, bit-identity, and re-queue."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 40, 45])
+    def test_bit_identical_across_chunk_sizes(self, loopback_worker, chunk_size):
+        # Non-dividing, unit, exact-width, and wider-than-grid sizes all
+        # flatten back to the serial result order.
+        items = list(range(40))
+        with RemoteMapper(
+            [loopback_worker.address_string], chunk_size=chunk_size
+        ) as mapper:
+            assert mapper(_double, items) == [item * 2 for item in items]
+            assert mapper.last_chunk_size == chunk_size
+
+    def test_auto_chunk_size_uses_fleet_slots(self, loopback_worker):
+        # The loopback fleet advertises 2 slots: ceil(40 / (4 * 2)) = 5.
+        with RemoteMapper([loopback_worker.address_string]) as mapper:
+            assert mapper(_double, list(range(40))) == [x * 2 for x in range(40)]
+            assert mapper.last_chunk_size == 5
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            RemoteMapper([DEAD_ADDRESS], chunk_size=0)
+
+    def test_mid_chunk_worker_death_requeues_the_whole_chunk(self, loopback_worker):
+        # The flaky member hangs up with a whole 4-cell chunk in flight;
+        # every cell must still arrive exactly once, in order.
+        flaky = _FlakyWorker(jobs_before_hangup=1)
+        with flaky:
+            roster = [flaky.address_string, loopback_worker.address_string]
+            with RemoteMapper(roster, chunk_size=4) as mapper:
+                assert mapper(_double, list(range(22))) == [x * 2 for x in range(22)]
+        assert flaky.jobs_seen >= 1
+
+    def test_chunk_error_names_the_chunk_and_worker(self, loopback_worker):
+        with RemoteMapper([loopback_worker.address_string], chunk_size=2) as mapper:
+            with pytest.raises(RemoteJobError, match=r"chunk \d+ failed on"):
+                mapper(_boom, [1, 2, 3])
+
+    def test_wire_stats_accumulate_both_directions(self, loopback_worker):
+        with RemoteMapper([loopback_worker.address_string], chunk_size=5) as mapper:
+            mapper(_double, list(range(10)))
+            stats = mapper.wire_stats
+            assert stats.frames_sent == 2  # two 5-cell chunks, not 10 frames
+            assert stats.frames_received == 2
+            assert stats.bytes_sent > 0 and stats.bytes_received > 0
+            assert stats.total_bytes == stats.bytes_sent + stats.bytes_received
+
+    def test_connect_prewarm_is_idempotent(self, loopback_worker):
+        # Benchmarks call connect() so the handshake never pollutes timed
+        # dispatch samples; calling it twice must reuse the connections.
+        with RemoteMapper([loopback_worker.address_string]) as mapper:
+            assert mapper.connect() is mapper
+            first = mapper._connections[0]
+            mapper.connect()
+            assert mapper._connections[0] is first
+            assert mapper(_double, [21]) == [42]
+
+
+class TestCompression:
+    """The negotiated zlib threshold: hello echo plus on-wire effect."""
+
+    def test_hello_echoes_the_negotiated_threshold(self):
+        with WorkerServer(port=0) as server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                send_frame(
+                    sock,
+                    ("hello", {"protocol": PROTOCOL_VERSION, "compress_min": 123}),
+                )
+                kind, info = recv_frame(sock)
+        assert kind == "hello"
+        assert info["compress_min"] == 123
+
+    def test_bad_compress_min_is_refused(self):
+        with WorkerServer(port=0) as server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                send_frame(
+                    sock,
+                    ("hello", {"protocol": PROTOCOL_VERSION, "compress_min": "lots"}),
+                )
+                kind, _seq, message = recv_frame(sock)
+        assert kind == "error"
+        assert "compress_min" in message
+
+    def test_version_mismatch_diagnosis_names_both_versions(self):
+        # A mixed-version fleet must fail the handshake with a diagnosis,
+        # not corrupt frames later (see docs/OPERATIONS.md).
+        with WorkerServer(port=0) as server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                send_frame(sock, ("hello", {"protocol": PROTOCOL_VERSION - 1}))
+                kind, _seq, message = recv_frame(sock)
+        assert kind == "error"
+        assert f"v{PROTOCOL_VERSION}" in message
+        assert "upgrade" in message
+
+    def test_compressed_dispatch_is_bit_identical_and_smaller(self, loopback_worker):
+        # Large, highly compressible cells: the compressed mapper must
+        # produce the exact same results over far fewer wire bytes.
+        items = [[index] * 3000 for index in range(12)]
+        with RemoteMapper(
+            [loopback_worker.address_string], chunk_size=6, compress_min=None
+        ) as plain:
+            expected = plain(_double, items)
+        with RemoteMapper(
+            [loopback_worker.address_string], chunk_size=6, compress_min=64
+        ) as squeezed:
+            assert squeezed(_double, items) == expected
+        assert squeezed.wire_stats.total_bytes < plain.wire_stats.total_bytes / 5
+
+
+class TestNoDelay:
+    """Nagle is disabled on both ends of every worker connection."""
+
+    def test_nodelay_set_on_dialed_and_accepted_sockets(self, monkeypatch):
+        flagged = []
+        real_setsockopt = socket.socket.setsockopt
+
+        def recording(sock, *args):
+            if tuple(args[:2]) == (socket.IPPROTO_TCP, socket.TCP_NODELAY):
+                flagged.append(sock)
+            return real_setsockopt(sock, *args)
+
+        monkeypatch.setattr(socket.socket, "setsockopt", recording)
+        with WorkerServer(port=0) as server:
+            with RemoteMapper([server.address_string]) as mapper:
+                assert mapper(_double, [1, 2, 3]) == [2, 4, 6]
+                client_sock = mapper._connections[0].sock
+                assert (
+                    client_sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY)
+                    != 0
+                )
+                # The server's accepted socket set it too — a different
+                # socket object from the dialed one.
+                assert any(sock is not client_sock for sock in flagged)
+
+
 class _FlakyWorker:
     """A protocol-correct fleet member that drops its connection mid-grid.
 
     Completes the handshake (advertising one slot), answers the first
-    ``jobs_before_hangup - 1`` jobs, then closes the socket on the next
+    ``jobs_before_hangup - 1`` chunks, then closes the socket on the next
     one — the client must treat it as a disconnect and re-queue.
     """
 
@@ -409,9 +559,11 @@ class _FlakyWorker:
                     message = recv_frame(conn)
                     self.jobs_seen += 1
                     if self.jobs_seen >= self.jobs_before_hangup:
-                        return  # hang up with this job unanswered
-                    _kind, seq, fn, item = message
-                    send_frame(conn, ("result", seq, fn(item)))
+                        return  # hang up with this chunk unanswered
+                    _kind, seq, fn, items = message
+                    send_frame(
+                        conn, ("chunk_result", seq, [fn(item) for item in items])
+                    )
             except (EOFError, RemoteProtocolError, OSError):
                 return
 

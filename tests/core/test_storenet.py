@@ -425,3 +425,32 @@ class TestCliStore:
             server.send_signal(signal.SIGTERM)
             assert server.wait(timeout=10) == 0
             assert "drained" in server.stdout.read()
+
+
+class TestStoreNoDelay:
+    """Nagle is disabled on both ends of every store connection."""
+
+    def test_nodelay_set_on_dialed_and_accepted_sockets(
+        self, store_server, monkeypatch
+    ):
+        flagged = []
+        real_setsockopt = socket.socket.setsockopt
+
+        def recording(sock, *args):
+            if tuple(args[:2]) == (socket.IPPROTO_TCP, socket.TCP_NODELAY):
+                flagged.append(sock)
+            return real_setsockopt(sock, *args)
+
+        monkeypatch.setattr(socket.socket, "setsockopt", recording)
+        store = RemoteStore(store_server.address_string)
+        try:
+            assert store.get(key_for()) is None  # dials lazily on first use
+            client_sock = store._sock
+            assert (
+                client_sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+            )
+            # The server's accepted socket set it too — a different
+            # socket object from the dialed one.
+            assert any(sock is not client_sock for sock in flagged)
+        finally:
+            store.close()
