@@ -16,6 +16,12 @@ client A warms the named ``repro-bench store`` server, then client B —
 an empty local cache, warm server — must report every figure as
 ``hit-remote`` with zero executed jobs and byte-identical result JSON.
 
+With ``--fleet-url`` the smoke adds a dynamic-fleet leg: the roster is
+resolved from the named ``repro-bench fleet`` coordinator at dispatch
+time instead of hand-rostered, and the run must still be bit-identical
+to serial (CI starts the second worker *after* this leg begins, so the
+leg also exercises a mid-run join).
+
 Usage::
 
     python benchmarks/ci_smoke.py --out bench-artifacts --jobs 2 --grid-jobs 2
@@ -23,6 +29,9 @@ Usage::
     python benchmarks/ci_smoke.py --remote-workers 127.0.0.1:7077
     # with a store started via `repro-bench store --port 7078 --dir d`:
     python benchmarks/ci_smoke.py --store-url 127.0.0.1:7078
+    # with a coordinator (`repro-bench fleet --port 7079`) and workers
+    # registered to it via `repro-bench worker --fleet 127.0.0.1:7079`:
+    python benchmarks/ci_smoke.py --fleet-url 127.0.0.1:7079
 """
 
 from __future__ import annotations
@@ -54,10 +63,11 @@ def run_backend(
     grid_jobs: int = 1,
     workers: tuple[str, ...] = (),
     chunk_size: int | None = None,
+    fleet_url: str | None = None,
 ) -> tuple[BenchmarkSuite, float]:
     suite = BenchmarkSuite(
         seed=seed, quick=True, jobs=jobs, grid_jobs=grid_jobs, workers=workers,
-        chunk_size=chunk_size,
+        chunk_size=chunk_size, fleet_url=fleet_url,
     )
     started = time.perf_counter()
     suite.run_all(figures)
@@ -149,6 +159,12 @@ def main(argv: list[str] | None = None) -> int:
              "store server with one client, then require a cold-cache "
              "client to run everything as hit-remote with zero executions",
     )
+    parser.add_argument(
+        "--fleet-url", default=None, metavar="HOST:PORT",
+        help="also gate the dynamic fleet: resolve the roster from this "
+             "repro-bench fleet coordinator at dispatch time and require "
+             "the run to stay bit-identical to serial",
+    )
     args = parser.parse_args(argv)
     remote_fleet = tuple(
         part.strip() for part in args.remote_workers.split(",") if part.strip()
@@ -183,6 +199,23 @@ def main(argv: list[str] | None = None) -> int:
         chunked_remote_mismatches = compare(
             serial_suite, chunked_remote_suite, args.figures
         )
+    fleet_mismatches: list[str] = []
+    fleet_wall = None
+    fleet_roster: list[str] = []
+    if args.fleet_url:
+        fleet_suite, fleet_wall = run_backend(
+            args.seed, 1, args.figures, fleet_url=args.fleet_url
+        )
+        fleet_mismatches = compare(serial_suite, fleet_suite, args.figures)
+        # The roster that materialized — CI asserts the mid-run joiner
+        # appears here, proving the elastic leg actually churned.
+        fleet_roster = sorted(
+            {
+                worker
+                for record in fleet_suite.last_report.records
+                for worker in (record.workers or ())
+            }
+        )
     out = pathlib.Path(args.out)
     store_gate = None
     if args.store_url:
@@ -193,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     mismatches = sorted(
         set(pool_mismatches) | set(grid_mismatches) | set(chunked_mismatches)
         | set(remote_mismatches) | set(chunked_remote_mismatches)
+        | set(fleet_mismatches)
         | set(store_gate["mismatches"] if store_gate else ())
     )
     store_failed = store_gate is not None and not store_gate["ok"]
@@ -211,12 +245,17 @@ def main(argv: list[str] | None = None) -> int:
         f"cold={store_gate['cold_wall_s']:.2f}s executed={store_gate['executed']}"
         if store_gate else ""
     )
+    fleet_note = (
+        f" fleet[{args.fleet_url}]={fleet_wall:.2f}s "
+        f"roster={','.join(fleet_roster) or '-'}"
+        if args.fleet_url else ""
+    )
     print(
         f"smoke[{','.join(args.figures)}] seed={args.seed} "
         f"serial={serial_wall:.2f}s jobs={args.jobs}={parallel_wall:.2f}s "
         f"grid-jobs={args.grid_jobs}={grid_wall:.2f}s "
-        f"chunk{args.chunk_size}={chunked_wall:.2f}s{remote_note}{store_note} "
-        f"-> {status}"
+        f"chunk{args.chunk_size}={chunked_wall:.2f}s{remote_note}{fleet_note}"
+        f"{store_note} -> {status}"
     )
     parallel_suite.save_results(out)
     (out / "BENCH_smoke.json").write_text(
@@ -237,6 +276,9 @@ def main(argv: list[str] | None = None) -> int:
                 "grid_jobs": args.grid_jobs,
                 "chunk_size": args.chunk_size,
                 "remote_workers": list(remote_fleet),
+                "fleet_url": args.fleet_url,
+                "fleet_wall_s": round(fleet_wall, 4) if fleet_wall is not None else None,
+                "fleet_roster": fleet_roster,
                 "identical": not mismatches,
                 "mismatches": mismatches,
                 "pool_mismatches": pool_mismatches,
@@ -244,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
                 "chunked_mismatches": chunked_mismatches,
                 "remote_mismatches": remote_mismatches,
                 "chunked_remote_mismatches": chunked_remote_mismatches,
+                "fleet_mismatches": fleet_mismatches,
                 "store_gate": store_gate,
             },
             indent=2,

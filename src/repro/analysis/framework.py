@@ -103,6 +103,14 @@ DEFAULT_SEAMS: dict[str, dict[str, str]] = {
             "the seed tree root itself — the one sanctioned entropy seam "
             "every model draw must flow from"
         ),
+        "repro/core/fleet.py": (
+            "membership liveness: monotonic last-seen stamps decide roster "
+            "pruning (where cells run), never any model draw"
+        ),
+        "repro/core/storenet.py": (
+            "cell-dedupe lease expiry: monotonic deadlines decide which "
+            "worker computes a cell, never what the cell computes"
+        ),
     },
 }
 

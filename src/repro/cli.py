@@ -14,6 +14,9 @@ Installed as ``repro-bench``::
     repro-bench run fig05 --grid-backend remote --workers 127.0.0.1:7077
     repro-bench store --port 7078 --dir DIR     # serve a shared result store
     repro-bench run fig05 --store 127.0.0.1:7078   # read/write the fleet cache
+    repro-bench fleet --port 7079               # membership coordinator
+    repro-bench worker --port 7077 --fleet 127.0.0.1:7079   # self-registering
+    repro-bench run fig05 --fleet 127.0.0.1:7079   # roster resolved live
     repro-bench [--seed N] findings [--cache DIR] [--store HOST:PORT]
     repro-bench hap [platform ...]
     repro-bench perf [--full] [--pr N] [--baseline BENCH_5.json]
@@ -80,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
              "stay bit-identical to a serial run",
     )
     run.add_argument(
+        "--fleet", metavar="HOST:PORT", default=None,
+        help="fleet coordinator to resolve the worker roster from "
+             "(started with: repro-bench fleet --port P); replaces "
+             "--workers — workers join and leave mid-run, results stay "
+             "bit-identical to a serial run",
+    )
+    run.add_argument(
         "--chunk-size", dest="chunk_size", type=int, default=None, metavar="N",
         help="dispatch N-cell slabs per pool future / remote frame on "
              "non-serial grid backends (default: auto heuristic, see "
@@ -140,6 +150,43 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="local worker processes executing jobs (default: 1 = inline)",
+    )
+    worker.add_argument(
+        "--fleet", metavar="HOST:PORT", default=None,
+        help="fleet coordinator to register with on startup (started "
+             "with: repro-bench fleet --port P); the worker heartbeats "
+             "while alive and deregisters on drain",
+    )
+    worker.add_argument(
+        "--advertise", metavar="HOST:PORT", default=None,
+        help="address to advertise to the fleet coordinator (default: "
+             "the bound address; set this when listening on 0.0.0.0)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", dest="heartbeat_interval", type=float,
+        default=2.0, metavar="S",
+        help="seconds between fleet heartbeats (default: 2.0; must beat "
+             "the coordinator's timeout)",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet", help="serve the worker-membership coordinator"
+    )
+    fleet.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default: 127.0.0.1; use 0.0.0.0 to "
+             "serve a real fleet)",
+    )
+    fleet.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="TCP port to listen on (default: 0 = ephemeral; the bound "
+             "port is printed on startup)",
+    )
+    fleet.add_argument(
+        "--heartbeat-timeout", dest="heartbeat_timeout", type=float,
+        default=None, metavar="S",
+        help="seconds without a heartbeat before a worker is pruned from "
+             "the roster (default: 6.0)",
     )
 
     store = subparsers.add_parser(
@@ -251,8 +298,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ) if args.workers else ()
     suite = BenchmarkSuite(
         seed=args.seed, quick=args.quick, jobs=args.jobs, grid_jobs=args.grid_jobs,
-        grid_backend=args.grid_backend, workers=workers, store_url=args.store,
-        chunk_size=args.chunk_size,
+        grid_backend=args.grid_backend, workers=workers, fleet_url=args.fleet,
+        store_url=args.store, chunk_size=args.chunk_size,
         cache_dir=args.cache,
         cache_max_bytes=(
             args.cache_max_mb * 1024 * 1024 if args.cache_max_mb is not None else None
@@ -277,6 +324,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 grid_note += f" chunk={p['chunk_size']}"
             if p.get("workers"):
                 grid_note += f" workers={','.join(p['workers'])}"
+            if p.get("fleet"):
+                grid_note += f" fleet={p['fleet']}"
+            if p.get("dedupe"):
+                d = p["dedupe"]
+                grid_note += (
+                    f" cells={d.get('executed', 0)}"
+                    f"+{d.get('store_hits', 0)}deduped"
+                )
             store_note = f" store={p['store']}" if p.get("store") else ""
             print(
                 f"[provenance] backend={p['backend']}{grid_note} cache={p['cache']}"
@@ -312,17 +367,50 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     # would otherwise make the graceful-drain path unreachable).
     signal.signal(signal.SIGTERM, _graceful_exit)
     signal.signal(signal.SIGINT, _graceful_exit)
-    server = WorkerServer(host=args.host, port=args.port, workers=args.workers)
+    server = WorkerServer(
+        host=args.host, port=args.port, workers=args.workers,
+        fleet_url=args.fleet, advertise=args.advertise,
+        heartbeat_interval=args.heartbeat_interval,
+    )
     server.start()
     # Parsable by scripts (and the CI workflow): the bound address on one
     # line, flushed before the serve loop blocks.
+    fleet_note = f", fleet {args.fleet}" if args.fleet else ""
     print(
         f"repro-bench worker listening on {server.address_string} "
-        f"({args.workers} local worker(s))",
+        f"({args.workers} local worker(s){fleet_note})",
         flush=True,
     )
     server.serve_forever()
     print("repro-bench worker drained, exiting")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.core.fleet import FleetCoordinator
+
+    def _graceful_exit(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    # Same signal discipline as the worker: SIGTERM stops too, and SIGINT
+    # is restored in case a nohup'd start inherited SIGINT=SIG_IGN.
+    signal.signal(signal.SIGTERM, _graceful_exit)
+    signal.signal(signal.SIGINT, _graceful_exit)
+    kwargs = {}
+    if args.heartbeat_timeout is not None:
+        kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+    coordinator = FleetCoordinator(host=args.host, port=args.port, **kwargs)
+    coordinator.start()
+    # Parsable by scripts (and the CI workflow): the bound address on one
+    # line, flushed before the serve loop blocks.
+    print(
+        f"repro-bench fleet listening on {coordinator.address_string}",
+        flush=True,
+    )
+    coordinator.serve_forever()
+    print("repro-bench fleet drained, exiting")
     return 0
 
 
@@ -418,6 +506,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_plan(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "store":
             return _cmd_store(args)
         if args.command == "findings":

@@ -1,0 +1,499 @@
+"""Fleet membership: the coordinator workers register with.
+
+The remote grid backend (:mod:`repro.core.remote`) historically took a
+hand-named roster — ``run --workers host:port,...`` — which makes the
+fleet a deployment *constant*: every scale-up means re-running the
+client. This module turns membership into a service, the RAFDA position
+applied to the roster itself: a :class:`FleetCoordinator` is a tiny
+registry speaking the same framed-pickle transport as the worker and
+store services, ``repro-bench worker --fleet host:port`` registers on
+start / heartbeats on an interval / deregisters on drain, and ``run
+--fleet host:port`` resolves the *live* roster at dispatch time instead
+of baking one in. Which machines execute a grid is then pure deployment
+policy — workers can join mid-run and are admitted, workers that stop
+heartbeating are treated exactly like a dead socket (their in-flight
+chunks re-queue to the survivors).
+
+Membership is soft state (the Grapevine/anti-entropy lesson): the
+coordinator holds it in memory only, loses nothing durable on restart
+(workers re-register on their next heartbeat), and never touches the
+result path — determinism is owned entirely by the pre-derived RNG
+streams, so the roster can churn freely without perturbing a bit of
+output.
+
+Wire protocol (v1) — framed pickles, synchronous request/reply:
+
+* the client opens with ``("hello", {"protocol": 1, "service":
+  "fleet"})`` and the server answers in kind — the ``service`` marker
+  keeps a mis-pointed worker roster or store URL a clear error;
+* requests are ``("register", {"address": str, "slots": int})`` →
+  ``("ok", True)``, ``("heartbeat", address)`` → ``("ok", known)``
+  (``known=False`` tells a worker the coordinator restarted and it must
+  re-register), ``("deregister", address)`` → ``("ok", True)``,
+  ``("roster",)`` → ``("ok", [{"address": ..., "slots": ...}, ...])``
+  (live members only, sorted by address), and ``("stats",)`` →
+  ``("ok", {...counters...})``;
+* a request the server cannot honor answers ``("error", None, msg)``
+  and drops the connection; clients reconnect lazily on next use.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.core.remote import (
+    RemoteError,
+    _quietly_close,
+    parse_worker_address,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "FLEET_PROTOCOL_VERSION",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "FleetError",
+    "FleetCoordinator",
+    "FleetClient",
+]
+
+FLEET_PROTOCOL_VERSION = 1
+
+#: A member that has not heartbeat for this long is pruned from the
+#: roster. Three times the worker-side default interval (2s), so one
+#: dropped beat never evicts a healthy worker.
+DEFAULT_HEARTBEAT_TIMEOUT = 6.0
+
+
+class FleetError(RemoteError):
+    """The fleet coordinator could not be reached or violated the protocol.
+
+    Loud by design on the *registration* path (a worker pointed at a
+    dead coordinator is a misconfiguration); transient heartbeat and
+    roster-refresh failures are retried by the callers instead.
+    """
+
+
+# --- coordinator ------------------------------------------------------------------
+
+
+class FleetCoordinator:
+    """The membership registry one elastic fleet shares.
+
+    Listens on ``host:port`` (``port=0`` binds an ephemeral port),
+    tracks ``address -> slots`` for every registered worker, and prunes
+    members whose last heartbeat is older than ``heartbeat_timeout``
+    seconds. Liveness is measured on the monotonic clock — wall-clock
+    steps must not mass-evict a healthy fleet.
+
+    ``serve_forever()`` is the CLI loop (``repro-bench fleet``); the
+    context-manager form is the in-process loopback fixture the tests
+    and CI are built on::
+
+        with FleetCoordinator(port=0) as coordinator:
+            worker = WorkerServer(port=0, fleet_url=coordinator.address_string)
+            ...
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    ) -> None:
+        if heartbeat_timeout <= 0:
+            raise FleetError(
+                f"heartbeat timeout must be positive, got {heartbeat_timeout}"
+            )
+        self.host = host
+        self.port = port
+        self.heartbeat_timeout = heartbeat_timeout
+        #: address -> {"slots": int, "last_seen": monotonic seconds}
+        self._members: dict[str, dict[str, Any]] = {}
+        self._members_lock = threading.Lock()
+        self._counters = {
+            "registered": 0,
+            "deregistered": 0,
+            "expired": 0,
+            "heartbeats": 0,
+            "roster_reads": 0,
+        }
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._connections: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # --- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` to the real port."""
+        if self._listener is None:
+            raise FleetError("fleet coordinator is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def address_string(self) -> str:
+        """The bound address as the CLI's ``host:port`` spelling."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "FleetCoordinator":
+        """Bind and begin serving registrations."""
+        if self._listener is not None:
+            raise FleetError("fleet coordinator already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-fleet-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every client connection."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        listener, self._listener = self._listener, None
+        _quietly_close(listener)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            _quietly_close(conn)
+        for handler in list(self._handlers):
+            handler.join(timeout=10)
+        self._handlers.clear()
+        self._stopping.clear()
+
+    def serve_forever(self) -> None:
+        """The CLI loop: block until interrupted, then stop."""
+        if self._listener is None:
+            self.start()
+        try:
+            while self._listener is not None and not self._stopping.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "FleetCoordinator":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # --- membership ------------------------------------------------------------
+
+    def members(self) -> list[dict[str, Any]]:
+        """The live roster: ``[{"address": ..., "slots": ...}, ...]``.
+
+        Prunes members past the heartbeat timeout first; sorted by
+        address so every reader (and the mapper's driver-thread naming)
+        sees one stable order.
+        """
+        now = time.monotonic()
+        with self._members_lock:
+            stale = [
+                address
+                for address, member in self._members.items()
+                if now - member["last_seen"] > self.heartbeat_timeout
+            ]
+            for address in stale:
+                del self._members[address]
+                self._counters["expired"] += 1
+            return [
+                {"address": address, "slots": self._members[address]["slots"]}
+                for address in sorted(self._members)
+            ]
+
+    def _register(self, address: str, slots: int) -> None:
+        parse_worker_address(address)  # reject unroutable registrations early
+        if slots < 1:
+            raise FleetError(f"slots must be >= 1, got {slots}")
+        with self._members_lock:
+            self._members[address] = {
+                "slots": int(slots),
+                "last_seen": time.monotonic(),
+            }
+            self._counters["registered"] += 1
+
+    def _heartbeat(self, address: str) -> bool:
+        with self._members_lock:
+            self._counters["heartbeats"] += 1
+            member = self._members.get(address)
+            if member is None:
+                # Unknown: the coordinator restarted (or expired this
+                # worker); False tells the worker to re-register.
+                return False
+            member["last_seen"] = time.monotonic()
+            return True
+
+    def _deregister(self, address: str) -> None:
+        with self._members_lock:
+            if self._members.pop(address, None) is not None:
+                self._counters["deregistered"] += 1
+
+    def _stats(self) -> dict[str, Any]:
+        live = self.members()  # prunes first, so "live" is truthful
+        with self._members_lock:
+            stats = dict(self._counters)
+        stats["live"] = len(live)
+        return stats
+
+    # --- connection handling ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            # Membership traffic is tiny request/reply frames; Nagle
+            # buffering only delays them.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._connections.append(conn)
+                handler = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-fleet-conn",
+                    daemon=True,
+                )
+                self._handlers.append(handler)
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_frame(conn)
+            rejection = self._hello_rejection(hello)
+            if rejection is not None:
+                send_frame(conn, ("error", None, rejection))
+                return
+            send_frame(
+                conn,
+                ("hello", {"service": "fleet", "protocol": FLEET_PROTOCOL_VERSION}),
+            )
+            while True:
+                try:
+                    message = recv_frame(conn)
+                except EOFError:
+                    return  # client done
+                reply = self._handle(message)
+                send_frame(conn, reply)
+                if reply[0] == "error":
+                    return  # protocol is broken; make the client redial
+        except (RemoteError, OSError, EOFError):
+            pass  # torn connection: the client reconnects lazily
+        finally:
+            _quietly_close(conn)
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+                # Self-prune finished handlers (long-lived coordinators
+                # accept unboundedly many connections).
+                self._handlers[:] = [t for t in self._handlers if t.is_alive()]
+
+    def _hello_rejection(self, hello: Any) -> str | None:
+        """The two-sided handshake diagnosis, or None when the hello is good."""
+        if (
+            not isinstance(hello, tuple)
+            or len(hello) != 2
+            or hello[0] != "hello"
+            or not isinstance(hello[1], dict)
+        ):
+            return "fleet protocol mismatch: bad hello frame"
+        service = hello[1].get("service")
+        if service != "fleet":
+            return (
+                f"fleet protocol mismatch: this is a repro-bench fleet "
+                f"coordinator, client offered service {service!r} — point "
+                f"--fleet at a coordinator, worker rosters at workers, and "
+                f"--store at stores"
+            )
+        version = hello[1].get("protocol")
+        if version != FLEET_PROTOCOL_VERSION:
+            return (
+                f"fleet protocol mismatch: this coordinator speaks "
+                f"v{FLEET_PROTOCOL_VERSION}, client offered {version!r} — "
+                f"upgrade the older side"
+            )
+        return None
+
+    def _handle(self, message: Any) -> tuple:
+        if not (isinstance(message, tuple) and message and isinstance(message[0], str)):
+            return ("error", None, f"unexpected frame {message!r}")
+        try:
+            if (
+                message[0] == "register"
+                and len(message) == 2
+                and isinstance(message[1], dict)
+            ):
+                self._register(str(message[1]["address"]), int(message[1]["slots"]))
+                return ("ok", True)
+            if message[0] == "heartbeat" and len(message) == 2:
+                return ("ok", self._heartbeat(str(message[1])))
+            if message[0] == "deregister" and len(message) == 2:
+                self._deregister(str(message[1]))
+                return ("ok", True)
+            if message[0] == "roster" and len(message) == 1:
+                with self._members_lock:
+                    self._counters["roster_reads"] += 1
+                return ("ok", self.members())
+            if message[0] == "stats" and len(message) == 1:
+                return ("ok", self._stats())
+        except Exception as exc:
+            return ("error", None, f"{type(exc).__name__}: {exc}")
+        return ("error", None, f"unexpected frame {message!r}")
+
+
+# --- client ----------------------------------------------------------------------
+
+
+class FleetClient:
+    """Client stub for a :class:`FleetCoordinator`.
+
+    Connects lazily on first use, redials lazily after a torn
+    connection, and raises :class:`FleetError` on failure — the
+    *callers* decide which failures are transient (a missed heartbeat, a
+    roster refresh mid-dispatch) and which are fatal (registering
+    against a dead coordinator at worker start).
+    """
+
+    def __init__(
+        self, address: str | tuple[str, int], *, connect_timeout: float = 10.0
+    ) -> None:
+        self.address = parse_worker_address(address)
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+
+    @property
+    def url(self) -> str:
+        """The coordinator address as the CLI's ``host:port`` spelling."""
+        host, port = self.address
+        return f"{host}:{port}" if ":" not in host else f"[{host}]:{port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FleetClient({self.url!r})"
+
+    # --- transport -------------------------------------------------------------
+
+    def _connection(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout)
+        except OSError as exc:
+            raise FleetError(
+                f"could not reach fleet coordinator {self.url}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            # Handshake under the connect timeout, then block freely.
+            send_frame(
+                sock,
+                ("hello", {"protocol": FLEET_PROTOCOL_VERSION, "service": "fleet"}),
+            )
+            reply = recv_frame(sock)
+            if (
+                isinstance(reply, tuple)
+                and len(reply) == 3
+                and reply[0] == "error"
+                and reply[1] is None
+                and isinstance(reply[2], str)
+                and "fleet protocol" in reply[2]
+            ):
+                # A coordinator refused and said why — surface its
+                # two-sided diagnosis verbatim. Error frames from other
+                # services (a worker or store refusing our hello) fall
+                # through to the wrong-service diagnosis below.
+                raise FleetError(
+                    f"fleet coordinator {self.url} refused the handshake: {reply[2]}"
+                )
+            if (
+                not isinstance(reply, tuple)
+                or reply[0] != "hello"
+                or reply[1].get("service") != "fleet"
+            ):
+                raise FleetError(
+                    f"{self.url} is not a fleet coordinator (handshake reply: "
+                    f"{reply!r}) — is it a repro-bench worker or store?"
+                )
+            sock.settimeout(None)
+        except FleetError:
+            _quietly_close(sock)
+            raise
+        except (RemoteError, OSError, EOFError) as exc:
+            _quietly_close(sock)
+            raise FleetError(f"fleet handshake with {self.url} failed: {exc}") from exc
+        self._sock = sock
+        return sock
+
+    def _request(self, message: tuple) -> Any:
+        sock = self._connection()
+        try:
+            send_frame(sock, message)
+            reply = recv_frame(sock)
+        except (RemoteError, OSError, EOFError) as exc:
+            self.close()
+            raise FleetError(f"fleet coordinator {self.url} failed: {exc}") from exc
+        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "ok":
+            return reply[1]
+        self.close()
+        if isinstance(reply, tuple) and len(reply) == 3 and reply[0] == "error":
+            raise FleetError(f"fleet coordinator {self.url} refused: {reply[2]}")
+        raise FleetError(
+            f"fleet coordinator {self.url} sent an unexpected frame: {reply!r}"
+        )
+
+    def close(self) -> None:
+        """Drop the connection (idempotent; the client may be reused)."""
+        if self._sock is not None:
+            _quietly_close(self._sock)
+            self._sock = None
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # --- membership surface ----------------------------------------------------
+
+    def register(self, address: str, slots: int) -> None:
+        """Join the fleet as ``address`` with ``slots`` local workers."""
+        self._request(("register", {"address": address, "slots": int(slots)}))
+
+    def heartbeat(self, address: str) -> bool:
+        """Refresh liveness; False means the coordinator forgot us
+        (restart or expiry) and the worker must re-register."""
+        return bool(self._request(("heartbeat", address)))
+
+    def deregister(self, address: str) -> None:
+        """Leave the roster (drain: new dispatches stop seeing us)."""
+        self._request(("deregister", address))
+
+    def roster(self) -> list[dict[str, Any]]:
+        """The live members, sorted by address."""
+        return list(self._request(("roster",)))
+
+    def stats(self) -> dict[str, Any]:
+        """The coordinator's membership counters."""
+        return dict(self._request(("stats",)))

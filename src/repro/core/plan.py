@@ -27,6 +27,7 @@ inspected — ``repro-bench plan fig09`` — without executing anything.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -40,6 +41,7 @@ from repro.core.runner import (
     run_rep_job,
 )
 from repro.core.stats import Summary, summarize
+from repro.core.store import canonical_overrides
 from repro.errors import ConfigurationError, UnsupportedOperationError
 from repro.platforms import get_platform
 from repro.platforms.base import Platform
@@ -54,7 +56,39 @@ __all__ = [
     "GridOutcome",
     "SpecView",
     "FigurePlan",
+    "cell_token",
 ]
+
+
+def cell_token(workload: Workload, platform_name: str, stream: Any) -> str | None:
+    """The content address of one grid cell, or None when unaddressable.
+
+    Two cells with equal tokens produce equal ``run()`` results by
+    construction: a cell's value is a pure function of (workload class +
+    parameters, platform, derived stream), and the token hashes exactly
+    that identity — via the same canonical-JSON encoding the store keys
+    use (:func:`~repro.core.store.canonical_overrides`), so dict/set
+    ordering can never fork the address. The stream's ``(seed, path)``
+    pins the whole seed-tree position; workload parameters are hashed
+    too because override variants (e.g. quick mode) share stream paths
+    while measuring different things.
+
+    Workloads whose parameters defy canonical encoding (an exotic
+    un-JSONable attribute) return None — the cell simply opts out of
+    fleet-wide dedupe, which is always safe: dedupe changes where a
+    value comes from, never what it is.
+    """
+    try:
+        identity = canonical_overrides({
+            "workload": type(workload).__qualname__,
+            "params": vars(workload),
+            "platform": platform_name,
+            "seed": stream.seed,
+            "path": stream.path,
+        })
+    except (ConfigurationError, TypeError):
+        return None
+    return hashlib.blake2b(identity.encode("utf-8"), digest_size=16).hexdigest()
 
 #: A fold step: consumes the executed grid, appends rows/series/notes.
 Fold = Callable[[FigureResult, "GridOutcome"], None]
@@ -408,7 +442,9 @@ class FigurePlan:
                 for index, stream in enumerate(streams):
                     cells.append(
                         GridCell(spec.key, name, index,
-                                 RepJob(spec.workload, platform, stream))
+                                 RepJob(spec.workload, platform, stream,
+                                        token=cell_token(spec.workload, name,
+                                                         stream)))
                     )
         materialize_streams([cell.job.stream for cell in cells])
         return LoweredGrid(self.figure_id, seed, self.specs, cells, exclusions)

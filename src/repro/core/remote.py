@@ -12,25 +12,40 @@ every connected worker). Where the cells execute is deployment-time
 policy (``--grid-backend remote --workers host:port,...``), never a code
 change — the RAFDA position.
 
-Wire protocol (v2, chunked) — length-prefixed pickle frames over TCP:
+Wire protocol (v3, chunked + store-aware) — length-prefixed pickle
+frames over TCP:
 
 * every frame is a 4-byte big-endian header word — the low 31 bits are
   the payload length, the top bit marks a zlib-compressed payload —
   followed by the (possibly compressed) pickle payload;
-* the client opens with ``("hello", {"protocol": 2, "compress_min":
-  N-or-None})`` and the server answers ``("hello", {"slots": S,
-  "compress_min": N-or-None})`` — ``S`` is the worker's local process
-  count, which the client uses as its pipelining window (counted in
-  *chunks*), and the echoed ``compress_min`` is the negotiated
-  compression threshold both sides apply to subsequent frames;
+* the client opens with ``("hello", {"protocol": 3, "compress_min":
+  N-or-None, "store": "host:port"-or-None})`` and the server answers
+  ``("hello", {"slots": S, "compress_min": N-or-None})`` — ``S`` is the
+  worker's local process count, which the client uses as its pipelining
+  window (counted in *chunks*), the echoed ``compress_min`` is the
+  negotiated compression threshold both sides apply to subsequent
+  frames, and ``store`` (new in v3) names the shared store this
+  connection's cells dedupe through (see below);
 * work flows as ``("chunk", seq, fn, [item, ...])`` — one frame carries
   one contiguous slab of the lowered grid (``fn`` picklable by
   reference — :func:`~repro.core.runner.run_rep_job` for grid cells),
   so the framed-pickle round-trip is amortized over the slab — and
-  comes back as ``("chunk_result", seq, [value, ...])`` or ``("error",
-  seq, message)``, *in completion order* — the client reassembles by
-  ``seq`` and slabs are contiguous, so the mapper stays
-  order-preserving for every chunk size;
+  comes back as ``("chunk_result", seq, [value, ...], cell_stats)`` or
+  ``("error", seq, message)``, *in completion order* — the client
+  reassembles by ``seq`` and slabs are contiguous, so the mapper stays
+  order-preserving for every chunk size; ``cell_stats`` is
+  ``{"executed": n, "store_hits": n}`` when the worker deduped the slab
+  through a store, else ``None`` (clients also accept the v2-shaped
+  3-tuple, so in-process test doubles stay simple);
+* with a store in the hello, the worker consults the store's cell-lease
+  tier (:mod:`repro.core.storenet`) around every *tokenized* cell of a
+  chunk: claim before executing (a ``hit`` ships the finished cell, a
+  ``wait`` polls a peer's in-flight execution, a ``run`` executes and
+  writes back), so two clients racing the same figure through one store
+  execute each cell at most once, fleet-wide. The dedupe is strictly
+  best-effort: any store trouble drops back to direct execution —
+  correctness never depends on the cache, and a cell's value is a pure
+  function of its pre-derived stream either way;
 * a protocol violation (including a version mismatch from an old fleet
   member) is answered with a seq-less ``("error", None, message)``
   naming both versions — a mixed-version fleet fails the handshake
@@ -55,6 +70,7 @@ import pickle
 import socket
 import struct
 import threading
+import time
 import zlib
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -78,9 +94,11 @@ __all__ = [
     "RemoteMapper",
 ]
 
-#: v2: chunked job frames, chunk-granular slot accounting, negotiated
-#: zlib compression. v1 peers are refused at the handshake.
-PROTOCOL_VERSION = 2
+#: v3: an optional shared-store address in the hello and a cell-stats
+#: element on chunk results (worker-side cell dedupe). v2 added chunked
+#: job frames, chunk-granular slot accounting, and negotiated zlib
+#: compression. Older peers are refused at the handshake.
+PROTOCOL_VERSION = 3
 
 #: Default compression threshold offered in the hello: payloads at or
 #: above this many pickled bytes cross the wire zlib-compressed. Small
@@ -276,11 +294,114 @@ def parse_worker_address(address: str | tuple[str, int]) -> tuple[str, int]:
 
 # --- server ----------------------------------------------------------------------
 
+#: How long a worker waiting on a peer's in-flight cell sleeps between
+#: lease polls. Small: cells are short relative to chunks, and the poll
+#: only happens while a *different* worker is computing the same cell.
+_CELL_WAIT_POLL_S = 0.05
 
-def _run_chunk_call(payload: tuple[Callable[[Any], Any], list[Any]]) -> list[Any]:
-    """Local-pool entry point: run one shipped slab, cell by cell, in order."""
-    fn, chunk = payload
-    return [fn(item) for item in chunk]
+#: Per-thread cache of cell-dedupe store clients, keyed by store URL.
+#: Thread-local because a store connection is a synchronous
+#: request/reply socket: the inline (``workers=1``) server executes
+#: chunks on its connection-handler threads, which must not interleave
+#: requests on one socket. Pool workers are single-threaded processes,
+#: so they hold exactly one entry each. A URL maps to ``None`` once the
+#: store proved unusable — dedupe is best-effort, so we stop redialing
+#: and run cells directly.
+_CELL_CLIENTS = threading.local()
+
+
+def _cell_client(store_url: str) -> Any:
+    """This thread's dedupe client for ``store_url`` (None = disabled)."""
+    cache = getattr(_CELL_CLIENTS, "clients", None)
+    if cache is None:
+        cache = _CELL_CLIENTS.clients = {}
+    if store_url in cache:
+        return cache[store_url]
+    from repro.core.storenet import RemoteStore  # lazy: storenet imports us
+
+    client = None
+    try:
+        candidate = RemoteStore(store_url)
+        if candidate.supports("cell_claim"):
+            client = candidate
+        else:
+            candidate.close()  # a v1-original store: no cell tier to use
+    except Exception:
+        client = None
+    cache[store_url] = client
+    return client
+
+
+def _disable_cell_client(store_url: str) -> None:
+    """Stop using (and redialing) a store that just failed mid-chunk."""
+    cache = getattr(_CELL_CLIENTS, "clients", None)
+    if cache is not None:
+        client = cache.get(store_url)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+        cache[store_url] = None
+
+
+def _run_cell_deduped(
+    fn: Callable[[Any], Any], item: Any, store_url: str, stats: dict[str, int]
+) -> Any:
+    """Run one cell through the store's lease protocol (best-effort).
+
+    Tokenized cells claim before executing: a ``hit`` returns the
+    peer-computed value, a ``run`` executes here and publishes, a
+    ``wait`` polls a peer's in-flight execution (the server expires
+    stale leases, so a crashed holder cannot wedge us — the next claim
+    gets ``run``). Any store failure disables dedupe for this thread
+    and falls back to executing directly: the store can save work, but
+    it must never be able to fail work.
+    """
+    client = _cell_client(store_url)
+    token = getattr(item, "token", None)
+    claimed = False
+    if client is not None and token is not None:
+        try:
+            while True:
+                status, payload = client.cell_claim(token)
+                if status == "hit":
+                    value = pickle.loads(payload)
+                    stats["store_hits"] += 1
+                    return value
+                if status == "run":
+                    claimed = True
+                    break
+                time.sleep(_CELL_WAIT_POLL_S)
+        except Exception:
+            _disable_cell_client(store_url)
+            client = None
+    # fn may raise — that is a real workload failure and propagates as
+    # the chunk's error; an unpublished claim simply expires server-side.
+    value = fn(item)
+    stats["executed"] += 1
+    if claimed and client is not None:
+        try:
+            client.cell_put(token, pickle.dumps(value))
+        except Exception:
+            _disable_cell_client(store_url)
+    return value
+
+
+def _run_chunk_call(
+    payload: tuple[Callable[[Any], Any], list[Any], str | None],
+) -> tuple[list[Any], dict[str, int] | None]:
+    """Local-pool entry point: run one shipped slab, cell by cell, in order.
+
+    With a store URL (from the connection's hello) every cell goes
+    through :func:`_run_cell_deduped`; the returned stats say how many
+    cells this worker executed vs. fetched from a fleet peer.
+    """
+    fn, chunk, store_url = payload
+    if store_url is None:
+        return [fn(item) for item in chunk], None
+    stats = {"executed": 0, "store_hits": 0}
+    return [_run_cell_deduped(fn, item, store_url, stats) for item in chunk], stats
 
 
 class WorkerServer:
@@ -304,16 +425,46 @@ class WorkerServer:
         with WorkerServer(port=0, workers=2) as server:
             mapper = RemoteMapper([server.address_string])
             ...
+
+    With ``fleet_url`` the worker is an *elastic* fleet member: it
+    registers with the named :class:`~repro.core.fleet.FleetCoordinator`
+    once listening (loudly — a dead coordinator at start is a
+    misconfiguration), heartbeats every ``heartbeat_interval`` seconds
+    on a daemon thread (re-registering if the coordinator restarted,
+    shrugging off transient outages), and deregisters on ``stop()`` —
+    drain semantics: new dispatches stop seeing the worker immediately,
+    while in-flight chunks still finish. ``advertise`` overrides the
+    address registered (needed when the bind address — ``0.0.0.0``, a
+    container-private IP — is not the address clients should dial).
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, workers: int = 1
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 1,
+        fleet_url: str | None = None,
+        advertise: str | None = None,
+        heartbeat_interval: float = 2.0,
     ) -> None:
         if workers < 1:
             raise RemoteDispatchError(f"workers must be >= 1, got {workers}")
+        if heartbeat_interval <= 0:
+            raise RemoteDispatchError(
+                f"heartbeat interval must be positive, got {heartbeat_interval}"
+            )
+        if advertise is not None:
+            parse_worker_address(advertise)  # reject undialable spellings early
         self.host = host
         self.port = port
         self.workers = workers
+        self.fleet_url = fleet_url
+        self.advertise = advertise
+        self.heartbeat_interval = heartbeat_interval
+        self._fleet_client: Any = None
+        self._heartbeat_thread: threading.Thread | None = None
+        self._heartbeat_stop = threading.Event()
         self._listener: socket.socket | None = None
         self._executor: ProcessPoolExecutor | None = None
         self._accept_thread: threading.Thread | None = None
@@ -337,6 +488,11 @@ class WorkerServer:
         host, port = self.address
         return f"{host}:{port}"
 
+    @property
+    def advertised_address(self) -> str:
+        """The address this worker registers with its fleet coordinator."""
+        return self.advertise if self.advertise is not None else self.address_string
+
     def start(self) -> "WorkerServer":
         """Bind, pre-fork the local pool, and begin accepting clients."""
         if self._listener is not None:
@@ -356,12 +512,66 @@ class WorkerServer:
             target=self._accept_loop, name="repro-worker-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.fleet_url is not None:
+            try:
+                self._join_fleet()
+            except BaseException:
+                # A worker pointed at a dead coordinator is misconfigured;
+                # fail start() loudly, but leave no half-started server.
+                self.stop()
+                raise
         return self
+
+    def _join_fleet(self) -> None:
+        from repro.core.fleet import FleetClient  # lazy: fleet imports us
+
+        assert self.fleet_url is not None
+        self._fleet_client = FleetClient(self.fleet_url)
+        self._fleet_client.register(self.advertised_address, self.workers)
+        self._heartbeat_stop.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-worker-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        from repro.core.fleet import FleetError
+
+        client = self._fleet_client
+        while not self._heartbeat_stop.wait(timeout=self.heartbeat_interval):
+            try:
+                if not client.heartbeat(self.advertised_address):
+                    # The coordinator forgot us (restart, or it expired
+                    # us during a long GC pause): membership is soft
+                    # state, so just re-register.
+                    client.register(self.advertised_address, self.workers)
+            except FleetError:
+                continue  # transient coordinator outage: retry next beat
+
+    def _leave_fleet(self) -> None:
+        self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5)
+            self._heartbeat_thread = None
+        if self._fleet_client is not None:
+            from repro.core.fleet import FleetError
+
+            try:
+                # Drain semantics: leave the roster *before* the listener
+                # closes, so new dispatches stop seeing us while in-flight
+                # chunks finish. Best-effort — the heartbeat timeout
+                # prunes us anyway if the coordinator is unreachable.
+                self._fleet_client.deregister(self.advertised_address)
+            except FleetError:
+                pass
+            self._fleet_client.close()
+            self._fleet_client = None
 
     def stop(self) -> None:
         """Graceful drain: finish in-flight jobs, then tear everything down."""
         if self._listener is None:
             return
+        self._leave_fleet()
         self._stopping.set()
         listener, self._listener = self._listener, None
         # shutdown() before close(): close() alone does not wake a thread
@@ -469,6 +679,13 @@ class WorkerServer:
                     ("error", None, f"protocol mismatch: bad compress_min {offered_min!r}"),
                 )
                 return
+            store_url = hello[1].get("store")
+            if store_url is not None and not isinstance(store_url, str):
+                send_frame(
+                    conn,
+                    ("error", None, f"protocol mismatch: bad store address {store_url!r}"),
+                )
+                return
             # Negotiated: echo the client's threshold and apply it to
             # every frame this connection sends from here on.
             compress_min = offered_min
@@ -489,7 +706,9 @@ class WorkerServer:
                     send_frame(conn, ("error", None, f"unexpected frame {message!r}"))
                     break
                 _kind, seq, fn, chunk = message
-                self._dispatch(conn, send_lock, in_flight, compress_min, seq, fn, chunk)
+                self._dispatch(
+                    conn, send_lock, in_flight, compress_min, seq, fn, chunk, store_url
+                )
         except (RemoteProtocolError, OSError, EOFError):
             pass  # torn connection: the client's retry logic owns recovery
         finally:
@@ -518,6 +737,7 @@ class WorkerServer:
         seq: int,
         fn: Callable[[Any], Any],
         chunk: list[Any],
+        store_url: str | None,
     ) -> None:
         def deliver(reply: tuple) -> None:
             try:
@@ -527,26 +747,30 @@ class WorkerServer:
                 pass  # client gone; it will re-queue the chunk elsewhere
 
         if self._executor is None:
-            deliver(_execute_reply(seq, fn, chunk))
+            deliver(_execute_reply(seq, fn, chunk, store_url))
             return
         # One pool task per slab: the chunk is the unit of dispatch on
         # both sides of the wire, so slot accounting stays in chunks.
-        future = self._executor.submit(_run_chunk_call, (fn, chunk))
+        future = self._executor.submit(_run_chunk_call, (fn, chunk, store_url))
         in_flight.add(future)
 
         def on_done(done: Future) -> None:
             in_flight.discard(done)
             try:
-                deliver(("chunk_result", seq, done.result()))
+                values, cell_stats = done.result()
+                deliver(("chunk_result", seq, values, cell_stats))
             except Exception as exc:
                 deliver(("error", seq, f"{type(exc).__name__}: {exc}"))
 
         future.add_done_callback(on_done)
 
 
-def _execute_reply(seq: int, fn: Callable[[Any], Any], chunk: list[Any]) -> tuple:
+def _execute_reply(
+    seq: int, fn: Callable[[Any], Any], chunk: list[Any], store_url: str | None
+) -> tuple:
     try:
-        return ("chunk_result", seq, _run_chunk_call((fn, chunk)))
+        values, cell_stats = _run_chunk_call((fn, chunk, store_url))
+        return ("chunk_result", seq, values, cell_stats)
     except Exception as exc:
         return ("error", seq, f"{type(exc).__name__}: {exc}")
 
@@ -578,6 +802,7 @@ class _WorkerConnection:
         timeout: float,
         *,
         compress_min: int | None = None,
+        store_url: str | None = None,
     ) -> None:
         self.address = address
         self.sock = socket.create_connection(address, timeout=timeout)
@@ -587,7 +812,14 @@ class _WorkerConnection:
             # durations are workload-dependent and unbounded.
             send_frame(
                 self.sock,
-                ("hello", {"protocol": PROTOCOL_VERSION, "compress_min": compress_min}),
+                (
+                    "hello",
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "compress_min": compress_min,
+                        "store": store_url,
+                    },
+                ),
             )
             reply = recv_frame(self.sock)
             if (
@@ -640,44 +872,105 @@ class RemoteMapper:
     :attr:`wire_stats` accumulates on-wire byte counts across
     dispatches (the perf harness's ``bytes_per_cell`` source).
 
-    Failure policy: the whole roster must be reachable at first dispatch
-    (a member that is down before the run even starts is a
-    misconfiguration, and tolerating it would falsify the recorded
-    roster); after that, a worker that disconnects mid-grid has its
-    in-flight chunks re-queued to the surviving workers (at most
-    ``retries`` times per chunk — cells are deterministic, so
-    re-execution cannot change results, only recover them); a cell that
-    *raises* inside a worker is a real workload failure and surfaces as
-    :class:`RemoteJobError`; losing every worker raises
-    :class:`RemoteDispatchError`.
+    Failure policy: with a static roster, the whole roster must be
+    reachable at first dispatch (a member that is down before the run
+    even starts is a misconfiguration, and tolerating it would falsify
+    the recorded roster); after that, a worker that disconnects
+    mid-grid has its in-flight chunks re-queued to the surviving
+    workers (at most ``retries`` times per chunk — cells are
+    deterministic, so re-execution cannot change results, only recover
+    them); a cell that *raises* inside a worker is a real workload
+    failure and surfaces as :class:`RemoteJobError`; losing every
+    worker raises :class:`RemoteDispatchError`.
+
+    With ``fleet_url`` instead of a roster, membership is *elastic*:
+    the live roster is resolved from the named
+    :class:`~repro.core.fleet.FleetCoordinator` at dispatch time (at
+    least one member must be reachable; individual members may be mid-
+    crash, the coordinator just has not noticed yet), and during the
+    dispatch the calling thread becomes a membership watcher — every
+    ``poll_interval`` seconds it re-reads the roster, connects a driver
+    thread for each *joining* worker (which immediately claims pending
+    chunks through the condition-variable seam every driver shares),
+    and closes the connection of each member that *left* the roster
+    (drain or missed heartbeats), funneling its driver into exactly the
+    dead-socket re-queue path above. :attr:`last_roster` records every
+    member that participated in the most recent dispatch and
+    :attr:`last_dedupe` the summed worker-side cell-dedupe counters —
+    both land in :class:`~repro.core.scheduler.JobRecord` provenance.
+
+    ``store_url`` (either mode) is handed to every worker in the hello:
+    workers then dedupe tokenized cells through that store's lease tier
+    fleet-wide — see the module docstring.
     """
 
     def __init__(
         self,
-        workers: Sequence[str | tuple[str, int]],
+        workers: Sequence[str | tuple[str, int]] | None = None,
         *,
         retries: int = 3,
         connect_timeout: float = 10.0,
         chunk_size: int | None = None,
         compress_min: int | None = COMPRESS_MIN_BYTES,
+        fleet_url: str | None = None,
+        store_url: str | None = None,
+        poll_interval: float = 0.25,
     ) -> None:
-        if not workers:
-            raise RemoteDispatchError("remote mapper needs at least one worker address")
+        if workers and fleet_url is not None:
+            raise ConfigurationError(
+                "give the remote mapper either a static worker roster or a "
+                "fleet coordinator (fleet_url), not both"
+            )
+        if not workers and fleet_url is None:
+            raise RemoteDispatchError(
+                "remote mapper needs at least one worker address (or a fleet "
+                "coordinator via fleet_url)"
+            )
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
-        self.addresses = [parse_worker_address(worker) for worker in workers]
+        if poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll interval must be positive, got {poll_interval}"
+            )
+        self.addresses = [parse_worker_address(worker) for worker in workers or ()]
         self.retries = retries
         self.connect_timeout = connect_timeout
         self.chunk_size = chunk_size
         self.compress_min = compress_min
+        self.fleet_url = fleet_url
+        self.store_url = store_url
+        self.poll_interval = poll_interval
         self.last_chunk_size: int | None = None
+        #: Every worker that participated in the most recent dispatch
+        #: (``host:port`` spellings) — for a fleet dispatch this is the
+        #: dynamic roster that actually materialized, joiners included.
+        self.last_roster: tuple[str, ...] | None = None
+        #: Summed worker-side cell-dedupe counters of the most recent
+        #: dispatch (``{"executed": n, "store_hits": n}``), or None when
+        #: no worker reported any (no store, or v2-shaped test doubles).
+        self.last_dedupe: dict[str, int] | None = None
         self.wire_stats = WireStats()
         self._connections: list[_WorkerConnection] = []
+        self._fleet_client: Any = None
 
     @property
     def roster(self) -> tuple[str, ...]:
-        """The fleet as ``host:port`` strings (provenance spelling)."""
+        """The fleet as ``host:port`` strings (provenance spelling).
+
+        Static mode: the configured roster. Fleet mode: the members of
+        the most recent dispatch (empty before the first one — elastic
+        membership is only knowable at dispatch time).
+        """
+        if self.fleet_url is not None:
+            return self.last_roster or ()
         return tuple(f"{host}:{port}" for host, port in self.addresses)
+
+    def _fleet(self) -> Any:
+        if self._fleet_client is None:
+            from repro.core.fleet import FleetClient  # lazy: fleet imports us
+
+            self._fleet_client = FleetClient(self.fleet_url)
+        return self._fleet_client
 
     # --- lifecycle -------------------------------------------------------------
 
@@ -688,8 +981,19 @@ class RemoteMapper:
         harness warms the fleet here so timed samples measure
         steady-state throughput, not TCP connect plus handshake).
         """
-        self._connect_all()
+        if self.fleet_url is not None:
+            self._connect_fleet()
+        else:
+            self._connect_all()
         return self
+
+    def _dial(self, address: tuple[str, int]) -> _WorkerConnection:
+        return _WorkerConnection(
+            address,
+            self.connect_timeout,
+            compress_min=self.compress_min,
+            store_url=self.store_url,
+        )
 
     def _connect_all(self) -> list[_WorkerConnection]:
         if self._connections:
@@ -698,11 +1002,7 @@ class RemoteMapper:
         failures: list[str] = []
         for address in self.addresses:
             try:
-                connections.append(
-                    _WorkerConnection(
-                        address, self.connect_timeout, compress_min=self.compress_min
-                    )
-                )
+                connections.append(self._dial(address))
             except (OSError, RemoteError) as exc:
                 failures.append(f"{address[0]}:{address[1]}: {exc}")
         if failures:
@@ -719,11 +1019,59 @@ class RemoteMapper:
         self._connections = connections
         return self._connections
 
+    def _fleet_roster(self) -> list[tuple[str, int]]:
+        """The coordinator's live roster as parsed addresses, sorted."""
+        members = self._fleet().roster()
+        return sorted(parse_worker_address(member["address"]) for member in members)
+
+    def _connect_fleet(self) -> list[_WorkerConnection]:
+        """Resolve the live roster and connect what is reachable.
+
+        Elastic membership inverts the static failure policy: the
+        coordinator's roster is *eventually* consistent (a member may
+        die between its last heartbeat and our dial), so individually
+        unreachable members are skipped — but zero reachable members is
+        still a hard error. Connections surviving a previous dispatch
+        are reused when still on the roster, closed when not.
+        """
+        try:
+            roster = self._fleet_roster()
+        except RemoteError as exc:
+            raise RemoteDispatchError(
+                f"could not resolve the fleet roster from {self.fleet_url}: {exc}"
+            ) from exc
+        kept = {connection.address: connection for connection in self._connections}
+        connections: list[_WorkerConnection] = []
+        failures: list[str] = []
+        for address in roster:
+            connection = kept.pop(address, None)
+            if connection is None:
+                try:
+                    connection = self._dial(address)
+                except (OSError, RemoteError) as exc:
+                    failures.append(f"{address[0]}:{address[1]}: {exc}")
+                    continue
+            connections.append(connection)
+        for connection in kept.values():
+            connection.close()  # drained off the roster between dispatches
+        if not connections:
+            detail = "; ".join(failures) if failures else "the roster is empty"
+            raise RemoteDispatchError(
+                f"no live fleet member reachable via coordinator "
+                f"{self.fleet_url}: {detail} — start workers with "
+                f"`repro-bench worker --fleet {self.fleet_url}`"
+            )
+        self._connections = connections
+        return self._connections
+
     def close(self) -> None:
         """Drop every connection (idempotent; the mapper may be reused)."""
         for connection in self._connections:
             connection.close()
         self._connections = []
+        if self._fleet_client is not None:
+            self._fleet_client.close()
+            self._fleet_client = None
 
     def __enter__(self) -> "RemoteMapper":
         return self
@@ -739,31 +1087,94 @@ class RemoteMapper:
             return []
         # Connect before chunking: the auto heuristic spreads slabs over
         # the fleet's total advertised slots, known only after the hello.
-        connections = self._connect_all()
+        if self.fleet_url is not None:
+            connections = self._connect_fleet()
+        else:
+            connections = self._connect_all()
         slots = sum(connection.slots for connection in connections)
         size = resolve_chunk_size(self.chunk_size, len(items), max(1, slots))
         self.last_chunk_size = size
         state = _DispatchState(fn, chunk_items(items, size), self.retries)
-        threads = [
-            threading.Thread(
-                target=self._drive_worker,
-                args=(connection, state),
-                name=f"repro-remote-{connection.address[1]}",
-                daemon=True,
-            )
-            for connection in connections
+        active = {connection.address: connection for connection in connections}
+        participated = [
+            f"{host}:{port}" for host, port in sorted(active)
         ]
-        for thread in threads:
-            thread.start()
+        threads = [self._spawn_driver(connection, state) for connection in connections]
+        if self.fleet_url is not None:
+            self._watch_fleet(state, active, participated, threads)
         for thread in threads:
             thread.join()
-        # Dead connections were discarded by their driver threads; keep
-        # the survivors for the next dispatch.
-        self._connections = [c for c in connections if c not in state.dead]
+        # Dead connections were discarded by their driver threads (and
+        # drained members were closed by the watcher); keep the
+        # survivors for the next dispatch.
+        self._connections = [
+            c for c in active.values() if c not in state.dead
+        ]
+        # Ordered dedupe: a worker that drained and rejoined mid-dispatch
+        # still counts once in the recorded roster.
+        self.last_roster = tuple(dict.fromkeys(participated))
+        self.last_dedupe = dict(state.dedupe) if state.dedupe else None
         results: list[Any] = []
         for chunk_result in state.finish():
             results.extend(chunk_result)
         return results
+
+    def _spawn_driver(
+        self, connection: _WorkerConnection, state: "_DispatchState"
+    ) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._drive_worker,
+            args=(connection, state),
+            name=f"repro-remote-{connection.address[1]}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def _watch_fleet(
+        self,
+        state: "_DispatchState",
+        active: dict[tuple[str, int], _WorkerConnection],
+        participated: list[str],
+        threads: list[threading.Thread],
+    ) -> None:
+        """Admit joiners and evict leavers until the dispatch settles.
+
+        The calling thread is otherwise idle during a dispatch (the
+        driver threads own the sockets), so in fleet mode it polls the
+        coordinator between settled-waits. A joiner gets a connection
+        and a driver — which immediately claims pending chunks via the
+        shared condition variable. A leaver (drained, or pruned for
+        missed heartbeats) gets its connection closed, which surfaces
+        in its driver as a dead socket: exactly the established
+        re-queue path, no second failure mode.
+        """
+        while not state.settled():
+            state.wait_settled(self.poll_interval)
+            if state.settled():
+                return
+            try:
+                live = set(self._fleet_roster())
+            except RemoteError:
+                continue  # transient coordinator outage: keep driving as-is
+            for address in sorted(live - set(active)):
+                try:
+                    connection = self._dial(address)
+                except (OSError, RemoteError):
+                    continue  # died right after joining; the roster will catch up
+                active[address] = connection
+                participated.append(f"{address[0]}:{address[1]}")
+                threads.append(self._spawn_driver(connection, state))
+            for address in sorted(set(active) - live):
+                # Do NOT add to state.dead here: the driver owns that
+                # transition when the closed socket surfaces, re-queuing
+                # its in-flight chunks in the same motion.
+                active.pop(address).close()
+            if not any(thread.is_alive() for thread in threads):
+                # Every driver is gone and the roster refresh connected
+                # nobody new: the dispatch cannot progress — let
+                # finish() raise the missing-chunks diagnosis.
+                return
 
     def _drive_worker(self, connection: _WorkerConnection, state: "_DispatchState") -> None:
         in_flight: set[int] = set()
@@ -788,7 +1199,13 @@ class RemoteMapper:
                         stats=stats,
                     )
                 if in_flight:
-                    kind, seq, payload = recv_frame(connection.sock, stats=stats)
+                    reply = recv_frame(connection.sock, stats=stats)
+                    if not (isinstance(reply, tuple) and len(reply) >= 3):
+                        raise RemoteProtocolError(f"unexpected reply frame {reply!r}")
+                    # Index (not unpack): a v3 chunk_result carries a
+                    # fourth cell-stats element, and plain 3-tuples from
+                    # in-process test doubles must keep working.
+                    kind, seq, payload = reply[0], reply[1], reply[2]
                     if kind == "error" and seq is None:
                         # A seq-less error is the server rejecting the
                         # dialogue itself (protocol mismatch, unexpected
@@ -803,6 +1220,8 @@ class RemoteMapper:
                         )
                     in_flight.discard(seq)
                     if kind == "chunk_result":
+                        if len(reply) > 3 and reply[3]:
+                            state.add_dedupe(reply[3])
                         state.complete(seq, payload)
                     elif kind == "error":
                         state.fail(RemoteJobError(
@@ -865,6 +1284,9 @@ class _DispatchState:
         self.error: RemoteError | None = None
         self.last_failure: Exception | None = None
         self.completed = 0
+        #: Summed worker-side cell-dedupe counters across every
+        #: chunk_result of this dispatch (empty when no worker reported).
+        self.dedupe: dict[str, int] = {}
         self._cv = threading.Condition()
 
     def claim(self) -> int | None:
@@ -909,10 +1331,22 @@ class _DispatchState:
                 self.pending.appendleft(seq)
             self._cv.notify_all()
 
+    def add_dedupe(self, cell_stats: dict[str, int]) -> None:
+        """Fold one chunk_result's cell-stats into the dispatch totals."""
+        with self._cv:
+            for key, value in cell_stats.items():
+                self.dedupe[key] = self.dedupe.get(key, 0) + int(value)
+
     def settled(self) -> bool:
         """True once every chunk completed — or the dispatch failed."""
         with self._cv:
             return self.error is not None or self.completed == len(self.items)
+
+    def wait_settled(self, timeout: float) -> None:
+        """Park the fleet watcher until progress (or for one poll tick)."""
+        with self._cv:
+            if self.error is None and self.completed < len(self.items):
+                self._cv.wait(timeout=timeout)
 
     def wait_for_work(self) -> None:
         """Park an idle driver until there is work, or the dispatch settles."""

@@ -74,11 +74,18 @@ class RepJob:
     Carries the workload, the platform, and the repetition's pre-derived
     :class:`~repro.rng.RngStream` — everything :meth:`run` needs, with no
     reference back to the :class:`Runner` that built it.
+
+    ``token`` is the cell's content address for fleet-wide dedupe (see
+    :func:`~repro.core.plan.cell_token`): equal tokens mean equal
+    ``run()`` results by construction, so store-aware workers can
+    exchange finished cells. ``None`` opts the cell out of dedupe — it
+    changes *where* a cell's value comes from, never what it is.
     """
 
     workload: Workload
     platform: Platform
     stream: RngStream
+    token: str | None = None
 
     def run(self) -> Any:
         """Execute this repetition and return the workload's result."""
@@ -171,6 +178,8 @@ def grid_mapper(
     jobs: int,
     workers: Iterable[str] | None = None,
     chunk_size: int | None = None,
+    fleet_url: str | None = None,
+    store_url: str | None = None,
 ) -> Mapper:
     """An order-preserving mapper for the given grid backend and width.
 
@@ -189,6 +198,13 @@ def grid_mapper(
     resolved per dispatch); the serial map has no dispatch boundary, so
     chunking does not apply to it.
 
+    The remote backend accepts ``fleet_url`` *instead of* a static
+    ``workers`` roster — the mapper then resolves the live membership
+    from that :class:`~repro.core.fleet.FleetCoordinator` at each
+    dispatch and admits workers joining mid-run — and ``store_url``,
+    which is handed to every worker so tokenized cells dedupe
+    fleet-wide through the store's lease tier.
+
     Every backend produces bit-identical results for the same grid —
     cell streams are derived before dispatch and every mapper preserves
     input order (see ``docs/ARCHITECTURE.md``) — for every chunk size.
@@ -206,12 +222,18 @@ def grid_mapper(
         # mapper seam, not a dependency of every runner user.
         from repro.core.remote import RemoteMapper
 
-        if not workers:
+        if not workers and fleet_url is None:
             raise ConfigurationError(
-                "grid backend 'remote' needs at least one worker address "
-                "(host:port) — start one with: repro-bench worker --port P"
+                "grid backend 'remote' needs a worker roster (host:port) or "
+                "a fleet coordinator (fleet_url) — start one with: "
+                "repro-bench worker --port P [--fleet HOST:PORT]"
             )
-        return RemoteMapper(list(workers), chunk_size=chunk_size)
+        return RemoteMapper(
+            list(workers) if workers else None,
+            chunk_size=chunk_size,
+            fleet_url=fleet_url,
+            store_url=store_url,
+        )
     if backend == "serial" or jobs == 1:
         return _serial_map
     return PoolMapper(backend, jobs, chunk_size=chunk_size)

@@ -103,10 +103,20 @@ class ExecutionPolicy:
     worker roster is given. Serial stays the default everywhere; callers
     opt in via ``--jobs N`` / ``--grid-jobs N`` / ``--workers ...``.
 
+    ``fleet_url`` replaces the hand-named roster with an elastic one
+    (CLI: ``run --fleet host:port``): the ``host:port`` of a
+    ``repro-bench fleet`` coordinator (:mod:`repro.core.fleet`) whose
+    *live* membership is resolved at dispatch time — workers register,
+    heartbeat, join mid-run, and drain without the client changing a
+    thing. Mutually exclusive with ``workers``; selects the remote grid
+    backend just like a static roster does.
+
     ``store_url`` names the shared (network) result store the run reads
     through and writes back to (``host:port`` of a ``repro-bench store``
     server, see :mod:`repro.core.storenet`) — like the worker roster,
-    *where* cached results live is deployment policy, not code.
+    *where* cached results live is deployment policy, not code. On the
+    remote grid backend the store address also rides in every worker
+    hello, so tokenized cells dedupe fleet-wide at execution time.
 
     ``chunk_size`` is the dispatch-granularity knob (CLI: ``run
     --chunk-size N``): non-serial grid backends ship contiguous slabs of
@@ -128,6 +138,7 @@ class ExecutionPolicy:
     grid_jobs: int = 1
     grid_backend: str | None = None
     workers: tuple[str, ...] = ()
+    fleet_url: str | None = None
     store_url: str | None = None
     chunk_size: int | None = None
 
@@ -148,17 +159,26 @@ class ExecutionPolicy:
                 f"known: {', '.join(GRID_BACKENDS)}"
             )
         object.__setattr__(self, "workers", tuple(self.workers))
-        if self.grid_backend == BACKEND_REMOTE and not self.workers:
+        if self.workers and self.fleet_url is not None:
+            raise ConfigurationError(
+                "give either a static worker roster (--workers) or a fleet "
+                "coordinator (--fleet), not both — the coordinator owns the "
+                "roster in fleet mode"
+            )
+        if self.grid_backend == BACKEND_REMOTE and not self.workers and self.fleet_url is None:
             raise ConfigurationError(
                 "grid_backend='remote' needs a worker roster "
-                "(workers=('host:port', ...))"
+                "(workers=('host:port', ...)) or a fleet coordinator "
+                "(fleet_url='host:port')"
             )
-        if self.workers and self.grid_backend not in (None, BACKEND_REMOTE):
+        if (self.workers or self.fleet_url is not None) and self.grid_backend not in (
+            None, BACKEND_REMOTE
+        ):
             raise ConfigurationError(
-                f"a worker roster only applies to the 'remote' grid backend, "
-                f"not {self.grid_backend!r}"
+                f"a worker roster (or fleet coordinator) only applies to the "
+                f"'remote' grid backend, not {self.grid_backend!r}"
             )
-        if self.workers and self.grid_jobs != 1:
+        if (self.workers or self.fleet_url is not None) and self.grid_jobs != 1:
             # Rejected rather than silently ignored: remote parallelism
             # comes from each worker's advertised slot count, so accepting
             # grid_jobs here would record a width that never took effect.
@@ -166,6 +186,11 @@ class ExecutionPolicy:
                 "grid_jobs does not apply to the remote grid backend; "
                 "set --workers N on each repro-bench worker instead"
             )
+        if self.fleet_url is not None:
+            try:
+                parse_worker_address(self.fleet_url)
+            except ReproError as exc:
+                raise ConfigurationError(f"invalid fleet address: {exc}") from None
         if self.store_url is not None:
             try:
                 parse_worker_address(self.store_url)
@@ -184,7 +209,7 @@ class ExecutionPolicy:
         """The concrete grid-level backend this policy selects."""
         if self.grid_backend is not None:
             return self.grid_backend
-        if self.workers:
+        if self.workers or self.fleet_url is not None:
             return BACKEND_REMOTE
         return BACKEND_PROCESS if self.grid_jobs > 1 else BACKEND_SERIAL
 
@@ -195,6 +220,8 @@ class ExecutionPolicy:
             self.grid_jobs,
             workers=self.workers or None,
             chunk_size=self.chunk_size,
+            fleet_url=self.fleet_url,
+            store_url=self.store_url,
         )
 
     @classmethod
@@ -222,6 +249,10 @@ class ExperimentJob:
     grid_backend: str = BACKEND_SERIAL
     grid_jobs: int = 1
     workers: tuple[str, ...] = ()
+    #: Fleet coordinator resolving the live roster (None = static mode).
+    fleet_url: str | None = None
+    #: Shared store the remote grid's cells dedupe through (None = none).
+    store_url: str | None = None
     #: Dispatch slab size prescribed by the policy (None = auto).
     chunk_size: int | None = None
 
@@ -235,6 +266,8 @@ class ExperimentJob:
         grid_backend: str = BACKEND_SERIAL,
         grid_jobs: int = 1,
         workers: tuple[str, ...] = (),
+        fleet_url: str | None = None,
+        store_url: str | None = None,
         chunk_size: int | None = None,
     ) -> "ExperimentJob":
         """Create a job; its identity seed comes from the shared seed tree."""
@@ -247,6 +280,8 @@ class ExperimentJob:
             grid_backend=grid_backend,
             grid_jobs=grid_jobs,
             workers=tuple(workers),
+            fleet_url=fleet_url,
+            store_url=store_url,
             chunk_size=chunk_size,
         )
 
@@ -282,10 +317,17 @@ class _CountingMapper:
 
 
 #: One job's outcome: (result, error message, wall time, grid width,
-#: resolved chunk size) — exactly one of result/error is set; grid width
-#: and chunk size are None on failure (and chunk size also for mappers
-#: with no dispatch boundary, i.e. serial).
-JobOutcome = tuple[FigureResult | None, str | None, float, int | None, int | None]
+#: resolved chunk size, remote info) — exactly one of result/error is
+#: set; grid width and chunk size are None on failure (and chunk size
+#: also for mappers with no dispatch boundary, i.e. serial). Remote info
+#: is ``{"roster": [...], "dedupe": {...} | None}`` when the job ran on
+#: the remote grid backend (the roster that *materialized* — in fleet
+#: mode that includes workers which joined mid-run — and the summed
+#: worker-side cell-dedupe counters), else None.
+JobOutcome = tuple[
+    FigureResult | None, str | None, float, int | None, int | None,
+    dict[str, Any] | None,
+]
 
 
 def _execute_job(job: ExperimentJob) -> JobOutcome:
@@ -308,6 +350,8 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
             job.grid_jobs,
             workers=job.workers or None,
             chunk_size=job.chunk_size,
+            fleet_url=job.fleet_url,
+            store_url=job.store_url,
         )
         counting = _CountingMapper(mapper)
         with contextlib.ExitStack() as stack:
@@ -322,9 +366,21 @@ def _execute_job(job: ExperimentJob) -> JobOutcome:
         # The *resolved* slab size (auto heuristics resolve per dispatch);
         # the serial map has no dispatch boundary and reports None.
         chunk_size = getattr(mapper, "last_chunk_size", None)
-        return result, None, time.perf_counter() - started, counting.dispatched, chunk_size
+        roster = getattr(mapper, "last_roster", None)
+        dedupe = getattr(mapper, "last_dedupe", None)
+        remote_info = (
+            {"roster": list(roster), "dedupe": dedupe}
+            if roster is not None else None
+        )
+        return (
+            result, None, time.perf_counter() - started, counting.dispatched,
+            chunk_size, remote_info,
+        )
     except Exception as exc:
-        return None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started, None, None
+        return (
+            None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started,
+            None, None, None,
+        )
 
 
 @dataclass
@@ -357,6 +413,13 @@ class JobRecord:
     #: Resolved dispatch slab size of the last grid dispatch (None for
     #: cache hits, failures, and the serial backend).
     chunk_size: int | None = None
+    #: Fleet coordinator the roster was resolved from (None for static
+    #: rosters and non-remote runs). When set, :attr:`workers` records
+    #: the roster that *materialized* — including mid-run joiners.
+    fleet: str | None = None
+    #: Summed worker-side cell-dedupe counters (``executed`` /
+    #: ``store_hits``) when workers ran store-aware, else None.
+    dedupe: dict[str, int] | None = None
 
     @property
     def cache_hit(self) -> bool:
@@ -380,6 +443,8 @@ class JobRecord:
             "grid_width": self.grid_width,
             "workers": list(self.workers) if self.workers is not None else None,
             "chunk_size": self.chunk_size,
+            "fleet": self.fleet,
+            "dedupe": dict(self.dedupe) if self.dedupe is not None else None,
         }
 
 
@@ -585,6 +650,8 @@ class ExperimentScheduler:
                         grid_jobs=self.policy.grid_jobs,
                         workers=self.policy.workers,
                         chunk_size=self.policy.chunk_size,
+                        fleet_url=self.policy.fleet_url,
+                        store_url=self.policy.store_url,
                     ),
                     key,
                 )
@@ -598,9 +665,16 @@ class ExperimentScheduler:
             # A single pending job gains nothing from a pool; run in-process.
             backend = BACKEND_SERIAL
             outcomes = self._run_serial(pending)
-        for (job, key), (result, error, elapsed, grid_width, chunk_size) in zip(
-            pending, outcomes
-        ):
+        for (job, key), outcome in zip(pending, outcomes):
+            result, error, elapsed, grid_width, chunk_size, remote_info = outcome
+            # In fleet mode the roster is resolved (and grown) at dispatch
+            # time — record what materialized, not what was configured.
+            roster = job.workers or None
+            dedupe = None
+            if remote_info is not None:
+                if remote_info.get("roster"):
+                    roster = tuple(remote_info["roster"])
+                dedupe = remote_info.get("dedupe")
             record = JobRecord(
                 figure_id=job.figure_id,
                 digest=key.digest,
@@ -614,8 +688,10 @@ class ExperimentScheduler:
                 grid_backend=job.grid_backend,
                 grid_jobs=job.grid_jobs,
                 grid_width=grid_width,
-                workers=job.workers or None,
+                workers=roster,
                 chunk_size=chunk_size,
+                fleet=job.fleet_url,
+                dedupe=dedupe,
             )
             report.records.append(record)
             if result is None:
@@ -623,8 +699,8 @@ class ExperimentScheduler:
             self._attach_provenance(
                 result, key, backend, "miss", elapsed, job.job_seed,
                 grid_backend=job.grid_backend, grid_jobs=job.grid_jobs,
-                grid_width=grid_width, workers=job.workers or None,
-                chunk_size=chunk_size,
+                grid_width=grid_width, workers=roster,
+                chunk_size=chunk_size, fleet=job.fleet_url, dedupe=dedupe,
             )
             if self.store is not None:
                 self.store.put(key, result)
@@ -653,7 +729,8 @@ class ExperimentScheduler:
                     # payload) reach here — figure errors are captured
                     # in-worker by _execute_job.
                     outcomes.append((None, f"{type(exc).__name__}: {exc}",
-                                     time.perf_counter() - started, None, None))
+                                     time.perf_counter() - started,
+                                     None, None, None))
         return outcomes
 
     def _attach_provenance(
@@ -669,6 +746,8 @@ class ExperimentScheduler:
         grid_width: int | None = None,
         workers: tuple[str, ...] | None = None,
         chunk_size: int | None = None,
+        fleet: str | None = None,
+        dedupe: dict[str, int] | None = None,
     ) -> None:
         result.metadata["provenance"] = {
             "backend": backend,
@@ -677,6 +756,8 @@ class ExperimentScheduler:
             "grid_width": grid_width,
             "workers": list(workers) if workers is not None else None,
             "chunk_size": chunk_size,
+            "fleet": fleet,
+            "dedupe": dict(dedupe) if dedupe is not None else None,
             "cache": cache,
             "store": self.store_address,
             "wall_time_s": round(wall_time_s, 6),

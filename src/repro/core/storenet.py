@@ -27,11 +27,27 @@ Wire protocol — framed pickles, synchronous request/reply per client:
   fleet member (or pointing a worker roster at a store) a clear error
   instead of a confusing frame mismatch;
 * requests are ``("get", key_dict)`` → ``("ok", result_dict | None)``,
-  ``("put", key_dict, result_dict)`` → ``("ok", True)``, and
-  ``("stats",)`` → ``("ok", {...})``; keys travel as their
-  :meth:`~repro.core.store.StoreKey` fields and are validated against
-  :attr:`~repro.core.store.StoreKey.digest` by the underlying store on
-  both ends;
+  ``("put", key_dict, result_dict)`` → ``("ok", True)``,
+  ``("contains", key_dict)`` → ``("ok", bool)`` (membership without
+  shipping the payload), and ``("stats",)`` → ``("ok", {...})``; keys
+  travel as their :meth:`~repro.core.store.StoreKey` fields and are
+  validated against :attr:`~repro.core.store.StoreKey.digest` by the
+  underlying store on both ends;
+* the server's hello advertises its ``verbs`` so newer clients degrade
+  gracefully against older servers (a client that sees no ``verbs``
+  assumes the v1 original set and, e.g., answers membership through a
+  full ``get``) — the version number only moves for *incompatible*
+  changes, additive verbs ride on the advertisement;
+* store-aware workers dedupe at grid-cell granularity through the
+  lease verbs: ``("cell_claim", token)`` → ``("ok", ("hit", payload) |
+  ("run", None) | ("wait", None))`` — ``hit`` carries the finished
+  cell, ``run`` grants this caller an execution lease, ``wait`` means
+  another worker holds the lease (poll again; leases expire on the
+  monotonic clock so a crashed holder cannot wedge the fleet) — and
+  ``("cell_put", token, payload)`` → ``("ok", True)`` publishes a
+  finished cell and releases its lease. The cell tier is a bounded
+  in-memory map, not the result store: cells are an execution-time
+  dedupe artifact, never provenance;
 * a request the server cannot honor answers ``("error", None, msg)``
   and drops the connection; the client reconnects lazily on next use.
 """
@@ -41,6 +57,8 @@ from __future__ import annotations
 import pathlib
 import socket
 import threading
+import time
+from collections import OrderedDict
 from typing import Any
 
 from repro.core.remote import (
@@ -55,6 +73,7 @@ from repro.core.store import ResultStore, StoreKey
 
 __all__ = [
     "STORE_PROTOCOL_VERSION",
+    "STORE_VERBS",
     "RemoteStoreError",
     "StoreServer",
     "RemoteStore",
@@ -62,6 +81,22 @@ __all__ = [
 ]
 
 STORE_PROTOCOL_VERSION = 1
+
+#: Every verb this server generation understands, advertised in the
+#: hello reply. Additive protocol growth rides on this advertisement
+#: (clients fall back when a verb is missing) — the version constant
+#: only moves for incompatible changes.
+STORE_VERBS = ("get", "put", "contains", "stats", "cell_claim", "cell_put")
+
+#: The v1 original verb set, assumed for servers whose hello carries no
+#: advertisement.
+_LEGACY_VERBS = frozenset({"get", "put", "stats"})
+
+#: Cell-dedupe defaults: how long one worker may hold an execution
+#: lease before waiters reclaim it, and how many finished cells the
+#: in-memory tier retains (oldest evicted first).
+DEFAULT_CELL_LEASE_S = 30.0
+DEFAULT_CELL_CAPACITY = 4096
 
 #: Tier labels recorded in provenance (``cache: hit-local | hit-remote``).
 TIER_LOCAL = "local"
@@ -124,10 +159,38 @@ class StoreServer:
         *,
         root: str | pathlib.Path,
         max_bytes: int | None = None,
+        cell_lease_timeout: float = DEFAULT_CELL_LEASE_S,
+        cell_capacity: int = DEFAULT_CELL_CAPACITY,
     ) -> None:
+        if cell_lease_timeout <= 0:
+            raise RemoteStoreError(
+                f"cell lease timeout must be positive, got {cell_lease_timeout}"
+            )
+        if cell_capacity < 1:
+            raise RemoteStoreError(
+                f"cell capacity must be >= 1, got {cell_capacity}"
+            )
         self.host = host
         self.port = port
         self.store = ResultStore(root, max_bytes=max_bytes)
+        # The cell-dedupe tier: finished cells by token (insertion order
+        # doubles as the eviction order) and outstanding execution
+        # leases as monotonic-clock deadlines. In-memory on purpose —
+        # cells dedupe concurrent *execution*, they are not provenance.
+        self.cell_lease_timeout = cell_lease_timeout
+        self.cell_capacity = cell_capacity
+        self._cells: OrderedDict[str, bytes] = OrderedDict()
+        self._cell_leases: dict[str, float] = {}
+        self._cell_lock = threading.Lock()
+        self._cell_counters = {
+            "claims": 0,
+            "hits": 0,
+            "runs": 0,
+            "waits": 0,
+            "puts": 0,
+            "put_repeats": 0,
+            "evicted": 0,
+        }
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._handlers: list[threading.Thread] = []
@@ -231,18 +294,20 @@ class StoreServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
             hello = recv_frame(conn)
-            if (
-                not isinstance(hello, tuple)
-                or len(hello) != 2
-                or hello[0] != "hello"
-                or not isinstance(hello[1], dict)
-                or hello[1].get("service") != "store"
-                or hello[1].get("protocol") != STORE_PROTOCOL_VERSION
-            ):
-                send_frame(conn, ("error", None, "store protocol mismatch"))
+            rejection = self._hello_rejection(hello)
+            if rejection is not None:
+                send_frame(conn, ("error", None, rejection))
                 return
             send_frame(
-                conn, ("hello", {"service": "store", "protocol": STORE_PROTOCOL_VERSION})
+                conn,
+                (
+                    "hello",
+                    {
+                        "service": "store",
+                        "protocol": STORE_PROTOCOL_VERSION,
+                        "verbs": STORE_VERBS,
+                    },
+                ),
             )
             while True:
                 try:
@@ -264,6 +329,37 @@ class StoreServer:
                 # unboundedly many connections).
                 self._handlers[:] = [t for t in self._handlers if t.is_alive()]
 
+    def _hello_rejection(self, hello: Any) -> str | None:
+        """The two-sided handshake diagnosis, or None when the hello is good.
+
+        Every branch keeps the ``store protocol mismatch`` prefix (the
+        string operators and tests grep for) and then says *which* side
+        is wrong and what to do about it — a mixed fleet must fail with
+        a usable error, exactly like the worker protocol's handshake.
+        """
+        if (
+            not isinstance(hello, tuple)
+            or len(hello) != 2
+            or hello[0] != "hello"
+            or not isinstance(hello[1], dict)
+        ):
+            return "store protocol mismatch: bad hello frame"
+        service = hello[1].get("service")
+        if service != "store":
+            return (
+                f"store protocol mismatch: this is a repro-bench result "
+                f"store, client offered service {service!r} — point --store "
+                f"at stores and worker rosters at workers"
+            )
+        version = hello[1].get("protocol")
+        if version != STORE_PROTOCOL_VERSION:
+            return (
+                f"store protocol mismatch: this store speaks "
+                f"v{STORE_PROTOCOL_VERSION}, client offered {version!r} — "
+                f"upgrade the older side"
+            )
+        return None
+
     def _handle(self, message: Any) -> tuple:
         if not (isinstance(message, tuple) and message and isinstance(message[0], str)):
             return ("error", None, f"unexpected frame {message!r}")
@@ -275,14 +371,73 @@ class StoreServer:
                 key = _key_from_wire(message[1])
                 self.store.put(key, FigureResult.from_dict(message[2]))
                 return ("ok", True)
+            if message[0] == "contains" and len(message) == 2:
+                return ("ok", _key_from_wire(message[1]) in self.store)
+            if message[0] == "cell_claim" and len(message) == 2:
+                return ("ok", self._cell_claim(message[1]))
+            if message[0] == "cell_put" and len(message) == 3:
+                self._cell_put(message[1], message[2])
+                return ("ok", True)
             if message[0] == "stats" and len(message) == 1:
                 stats = dict(self.store.stats)
                 stats["entries"] = sum(1 for _ in self.store.entries())
                 stats["total_bytes"] = self.store.total_bytes()
+                stats["cells"] = self.cell_stats()
                 return ("ok", stats)
         except Exception as exc:
             return ("error", None, f"{type(exc).__name__}: {exc}")
         return ("error", None, f"unexpected frame {message!r}")
+
+    # --- cell-dedupe tier ------------------------------------------------------
+
+    def _cell_claim(self, token: Any) -> tuple[str, bytes | None]:
+        """Atomic hit / lease-grant / wait decision for one cell token."""
+        if not isinstance(token, str) or not token:
+            raise RemoteStoreError(f"cell token must be a non-empty str, got {token!r}")
+        with self._cell_lock:
+            self._cell_counters["claims"] += 1
+            payload = self._cells.get(token)
+            if payload is not None:
+                self._cell_counters["hits"] += 1
+                return ("hit", payload)
+            now = time.monotonic()
+            deadline = self._cell_leases.get(token)
+            if deadline is not None and now < deadline:
+                self._cell_counters["waits"] += 1
+                return ("wait", None)
+            # No result and no live lease (never claimed, or the holder
+            # crashed past its deadline): this caller executes.
+            self._cell_leases[token] = now + self.cell_lease_timeout
+            self._cell_counters["runs"] += 1
+            return ("run", None)
+
+    def _cell_put(self, token: Any, payload: Any) -> None:
+        if not isinstance(token, str) or not token:
+            raise RemoteStoreError(f"cell token must be a non-empty str, got {token!r}")
+        if not isinstance(payload, bytes):
+            raise RemoteStoreError(
+                f"cell payload must be bytes, got {type(payload).__name__}"
+            )
+        with self._cell_lock:
+            self._cell_counters["puts"] += 1
+            if token in self._cells:
+                # The at-most-once assertion counter: a second put for
+                # one token means two workers executed the same cell.
+                self._cell_counters["put_repeats"] += 1
+            self._cells[token] = payload
+            self._cells.move_to_end(token)
+            self._cell_leases.pop(token, None)
+            while len(self._cells) > self.cell_capacity:
+                self._cells.popitem(last=False)
+                self._cell_counters["evicted"] += 1
+
+    def cell_stats(self) -> dict[str, int]:
+        """Cell-tier counters plus the current entry/lease population."""
+        with self._cell_lock:
+            stats = dict(self._cell_counters)
+            stats["entries"] = len(self._cells)
+            stats["leases"] = len(self._cell_leases)
+        return stats
 
 
 # --- client ----------------------------------------------------------------------
@@ -308,6 +463,7 @@ class RemoteStore:
         self.address = parse_worker_address(address)
         self.connect_timeout = connect_timeout
         self._sock: socket.socket | None = None
+        self._verbs: frozenset[str] = _LEGACY_VERBS
         self._hits = 0
         self._misses = 0
         self.last_source: str | None = None
@@ -344,6 +500,22 @@ class RemoteStore:
             )
             reply = recv_frame(sock)
             if (
+                isinstance(reply, tuple)
+                and len(reply) == 3
+                and reply[0] == "error"
+                and reply[1] is None
+                and isinstance(reply[2], str)
+                and "store protocol" in reply[2]
+            ):
+                # A store refused the handshake and said why (version or
+                # service mismatch) — surface its two-sided diagnosis
+                # verbatim. Error frames from *other* services (a worker
+                # refusing our hello) fall through to the dialed-the-
+                # wrong-service diagnosis below instead.
+                raise RemoteStoreError(
+                    f"result store {self.url} refused the handshake: {reply[2]}"
+                )
+            if (
                 not isinstance(reply, tuple)
                 or reply[0] != "hello"
                 or reply[1].get("service") != "store"
@@ -352,6 +524,12 @@ class RemoteStore:
                     f"{self.url} is not a result store (handshake reply: {reply!r}) — "
                     f"is it a repro-bench worker?"
                 )
+            # No advertisement = a v1-original server: assume its verb
+            # set and fall back accordingly (e.g. membership via `get`).
+            advertised = reply[1].get("verbs")
+            self._verbs = (
+                frozenset(advertised) if advertised else _LEGACY_VERBS
+            )
             sock.settimeout(None)
         except RemoteStoreError:
             _quietly_close(sock)
@@ -407,7 +585,40 @@ class RemoteStore:
         self._request(("put", _key_to_wire(key), result.to_dict()))
 
     def __contains__(self, key: StoreKey) -> bool:
-        return self._request(("get", _key_to_wire(key))) is not None
+        """Membership without shipping the payload (where the server can).
+
+        A server advertising the ``contains`` verb answers with one
+        boolean; a v1-original server falls back to a full ``get`` and
+        discards the body. Both paths feed the same hit/miss counters
+        as :meth:`get`, so the client's stats stay truthful however
+        membership was answered.
+        """
+        if self.supports("contains"):
+            found = bool(self._request(("contains", _key_to_wire(key))))
+        else:
+            found = self._request(("get", _key_to_wire(key))) is not None
+        if found:
+            self._hits += 1
+        else:
+            self._misses += 1
+        return found
+
+    def supports(self, verb: str) -> bool:
+        """Whether the server advertises ``verb`` (connects on first call)."""
+        self._connection()
+        return verb in self._verbs
+
+    # --- cell-dedupe surface ---------------------------------------------------
+
+    def cell_claim(self, token: str) -> tuple[str, bytes | None]:
+        """Claim one cell: ``("hit", payload)``, ``("run", None)``, or
+        ``("wait", None)`` — see the module docstring's lease protocol."""
+        status, payload = self._request(("cell_claim", token))
+        return str(status), payload
+
+    def cell_put(self, token: str, payload: bytes) -> None:
+        """Publish one finished cell and release its lease."""
+        self._request(("cell_put", token, payload))
 
     def server_stats(self) -> dict[str, Any]:
         """The server's own counters plus entry count and total bytes."""
@@ -440,6 +651,11 @@ class TieredStore:
         self.local = local
         self.remote = remote
         self.last_source: str | None = None
+        #: Non-fatal degradations (e.g. a failed local warm-back),
+        #: newest last; mirrored by the ``write_back_failures`` counter
+        #: in :attr:`stats`.
+        self.warnings: list[str] = []
+        self._write_back_failures = 0
 
     @property
     def url(self) -> str:
@@ -467,7 +683,20 @@ class TieredStore:
         if result is not None:
             self.last_source = TIER_REMOTE
             if self.local is not None:
-                self.local.put(key, result)
+                # Warming is best-effort: the result is already in hand,
+                # so a full disk or a permissions slip on the *local*
+                # tier must not fail the run — record it and move on.
+                # (Real remote failures above stay loud; and an explicit
+                # put() still raises, because there the write is the
+                # point of the call.)
+                try:
+                    self.local.put(key, result)
+                except Exception as exc:
+                    self._write_back_failures += 1
+                    self.warnings.append(
+                        f"local-tier warm-back failed for {key.figure_id} "
+                        f"({key.digest[:8]}): {type(exc).__name__}: {exc}"
+                    )
             return result
         return None
 
@@ -498,4 +727,5 @@ class TieredStore:
         return {
             "local": dict(self.local.stats) if self.local is not None else None,
             "remote": dict(self.remote.stats),
+            "write_back_failures": self._write_back_failures,
         }

@@ -62,6 +62,7 @@ class BenchmarkSuite:
         grid_jobs: int = 1,
         grid_backend: str | None = None,
         workers: tuple[str, ...] | list[str] = (),
+        fleet_url: str | None = None,
         store_url: str | None = None,
         chunk_size: int | None = None,
         policy: ExecutionPolicy | None = None,
@@ -77,6 +78,7 @@ class BenchmarkSuite:
             grid_jobs=grid_jobs,
             grid_backend=grid_backend,
             workers=tuple(workers),
+            fleet_url=fleet_url,
             store_url=store_url,
             chunk_size=chunk_size,
         )
@@ -230,6 +232,10 @@ class BenchmarkSuite:
         workers = (
             f"workers={','.join(self.policy.workers)} " if self.policy.workers else ""
         )
+        fleet = (
+            f"fleet={self.policy.fleet_url} "
+            if self.policy.fleet_url is not None else ""
+        )
         chunk = (
             f"chunk_size={self.policy.chunk_size} "
             if self.policy.chunk_size is not None else ""
@@ -242,6 +248,7 @@ class BenchmarkSuite:
             f"grid_backend={self.policy.resolved_grid_backend} "
             f"grid_jobs={self.policy.grid_jobs} "
             f"{workers}"
+            f"{fleet}"
             f"{chunk}"
             f"store={self.store.describe() if self.store else 'none'}\n"
             f"Figures: {', '.join(figure_ids())}"
@@ -280,6 +287,7 @@ class BenchmarkSuite:
                     "grid_backend": self.policy.resolved_grid_backend,
                     "grid_jobs": self.policy.grid_jobs,
                     "workers": list(self.policy.workers),
+                    "fleet": self.policy.fleet_url,
                     "chunk_size": self.policy.chunk_size,
                     "store": self.scheduler.store_address,
                     "machine": self.machine.describe(),

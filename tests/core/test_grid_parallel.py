@@ -242,9 +242,13 @@ class TestMapperLifetime:
         created = []
         real_grid_mapper = scheduler_module.grid_mapper
 
-        def tracking_grid_mapper(backend, jobs, workers=None, chunk_size=None):
+        def tracking_grid_mapper(
+            backend, jobs, workers=None, chunk_size=None,
+            fleet_url=None, store_url=None,
+        ):
             mapper = real_grid_mapper(
-                backend, jobs, workers=workers, chunk_size=chunk_size
+                backend, jobs, workers=workers, chunk_size=chunk_size,
+                fleet_url=fleet_url, store_url=store_url,
             )
             if isinstance(mapper, PoolMapper):
                 created.append(mapper)

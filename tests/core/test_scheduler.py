@@ -189,8 +189,8 @@ class TestCrashIsolation:
         bad = dataclasses.replace(good, kwargs=(("metric", lambda r: r),))
         key = scheduler.key_for("fig13")
         outcomes = scheduler._run_pool([(slow, key), (bad, key)])
-        slow_result, slow_error, slow_elapsed, _slow_width, _slow_chunk = outcomes[0]
-        bad_result, bad_error, bad_elapsed, _bad_width, _bad_chunk = outcomes[1]
+        slow_result, slow_error, slow_elapsed = outcomes[0][:3]
+        bad_result, bad_error, bad_elapsed = outcomes[1][:3]
         assert slow_result is not None and slow_error is None
         assert bad_result is None and "pickle" in bad_error.lower()
         # The bad future had already failed while the slow one ran; its

@@ -18,6 +18,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 
 import pytest
 
@@ -127,7 +128,9 @@ class TestRemoteStore:
             assert loaded.to_dict() == sample_result().to_dict()
             assert store.last_source == "remote"
             assert key in store
-            assert store.stats == {"hits": 1, "misses": 1, "evicted": 0}
+            # Membership feeds the same counters as get() now — the
+            # `in` above is the second hit.
+            assert store.stats == {"hits": 2, "misses": 1, "evicted": 0}
 
     def test_server_stats_request(self, store_server):
         with RemoteStore(store_server.address_string) as store:
@@ -425,6 +428,288 @@ class TestCliStore:
             server.send_signal(signal.SIGTERM)
             assert server.wait(timeout=10) == 0
             assert "drained" in server.stdout.read()
+
+
+class _LegacyStoreServer:
+    """A v1-original store double: no ``verbs`` in the hello, get/put only.
+
+    Exercises the client's negotiated fallback — membership must go
+    through a full ``get`` when the server never advertised ``contains``.
+    """
+
+    def __init__(self) -> None:
+        self.entries: dict[str, dict] = {}
+        self.requests: list[str] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    @property
+    def address_string(self) -> str:
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def _serve(self) -> None:
+        try:
+            conn, _peer = self._listener.accept()
+        except OSError:
+            return
+        with conn:
+            try:
+                recv_frame(conn)  # hello
+                send_frame(
+                    conn,
+                    ("hello", {"service": "store", "protocol": STORE_PROTOCOL_VERSION}),
+                )
+                while True:
+                    message = recv_frame(conn)
+                    self.requests.append(message[0])
+                    if message[0] == "get":
+                        send_frame(
+                            conn,
+                            ("ok", self.entries.get(message[1]["overrides_json"])),
+                        )
+                    elif message[0] == "put":
+                        self.entries[message[1]["overrides_json"]] = message[2]
+                        send_frame(conn, ("ok", True))
+                    else:
+                        send_frame(conn, ("error", None, "unknown verb"))
+                        return
+            except (EOFError, OSError):
+                return
+
+    def __enter__(self) -> "_LegacyStoreServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+
+class TestContainsVerb:
+    """Satellite: lightweight membership with counted, negotiated fallback."""
+
+    def test_server_advertises_the_verb_set(self, store_server):
+        with RemoteStore(store_server.address_string) as store:
+            assert store.supports("contains")
+            assert store.supports("cell_claim")
+            assert not store.supports("frobnicate")
+
+    def test_contains_answers_one_boolean_on_the_wire(self, store_server):
+        # The raw protocol: membership is a boolean reply, not a payload.
+        store_server.store.put(key_for(), sample_result())
+        with socket.create_connection(store_server.address, timeout=5) as sock:
+            send_frame(
+                sock,
+                ("hello", {"protocol": STORE_PROTOCOL_VERSION, "service": "store"}),
+            )
+            kind, info = recv_frame(sock)
+            assert kind == "hello"
+            assert "contains" in info["verbs"]
+            from repro.core.storenet import _key_to_wire
+
+            send_frame(sock, ("contains", _key_to_wire(key_for())))
+            assert recv_frame(sock) == ("ok", True)
+
+    def test_membership_counts_hits_and_misses(self, store_server):
+        with RemoteStore(store_server.address_string) as store:
+            assert key_for() not in store
+            store.put(key_for(), sample_result())
+            assert key_for() in store
+            assert store.stats == {"hits": 1, "misses": 1, "evicted": 0}
+
+    def test_legacy_server_falls_back_to_get_with_the_same_counters(self):
+        # No verbs advertised: membership must degrade to a full get and
+        # still feed the hit/miss counters identically.
+        with _LegacyStoreServer() as legacy:
+            with RemoteStore(legacy.address_string) as store:
+                assert key_for() not in store
+                store.put(key_for(), sample_result())
+                assert key_for() in store
+                assert not store.supports("contains")
+                assert store.stats == {"hits": 1, "misses": 1, "evicted": 0}
+        # Every membership probe crossed the wire as a get.
+        assert legacy.requests == ["get", "put", "get"]
+
+
+class TestHandshakeDiagnosis:
+    """Satellite: the rejection names both versions and the upgrade path."""
+
+    def test_version_mismatch_names_both_versions(self, store_server):
+        offered = STORE_PROTOCOL_VERSION + 7
+        with socket.create_connection(store_server.address, timeout=5) as sock:
+            send_frame(sock, ("hello", {"protocol": offered, "service": "store"}))
+            kind, _seq, message = recv_frame(sock)
+        assert kind == "error"
+        assert f"v{STORE_PROTOCOL_VERSION}" in message
+        assert str(offered) in message
+        assert "upgrade" in message
+
+    def test_wrong_service_names_the_offered_service(self, store_server):
+        with socket.create_connection(store_server.address, timeout=5) as sock:
+            send_frame(
+                sock,
+                ("hello", {"protocol": STORE_PROTOCOL_VERSION, "service": "fleet"}),
+            )
+            kind, _seq, message = recv_frame(sock)
+        assert kind == "error"
+        assert "'fleet'" in message
+
+    def test_client_surfaces_the_two_sided_diagnosis_verbatim(self):
+        # A mixed-version fleet: the (older) server's rejection must reach
+        # the client verbatim, not as a generic "not a result store".
+        diagnosis = (
+            "store protocol mismatch: this store speaks v0, client "
+            f"offered {STORE_PROTOCOL_VERSION} — upgrade the older side"
+        )
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        host, port = listener.getsockname()[:2]
+
+        def reject() -> None:
+            conn, _peer = listener.accept()
+            with conn:
+                recv_frame(conn)  # hello
+                send_frame(conn, ("error", None, diagnosis))
+
+        thread = threading.Thread(target=reject, daemon=True)
+        thread.start()
+        try:
+            store = RemoteStore(f"{host}:{port}")
+            with pytest.raises(
+                RemoteStoreError, match="upgrade the older side"
+            ) as info:
+                store.get(key_for())
+            assert "refused the handshake" in str(info.value)
+        finally:
+            listener.close()
+            thread.join(timeout=5)
+
+
+class TestCellLease:
+    """The cell-granular dedupe protocol: claim, lease, publish."""
+
+    def test_claim_run_then_wait_then_put_then_hit(self, store_server):
+        with RemoteStore(store_server.address_string) as store:
+            assert store.cell_claim("cell-1") == ("run", None)
+            # The lease is live: a second claimant is told to wait.
+            assert store.cell_claim("cell-1") == ("wait", None)
+            store.cell_put("cell-1", b"payload")
+            assert store.cell_claim("cell-1") == ("hit", b"payload")
+        cells = store_server.cell_stats()
+        assert cells["runs"] == 1
+        assert cells["waits"] == 1
+        assert cells["hits"] == 1
+        assert cells["puts"] == 1
+        assert cells["put_repeats"] == 0
+        assert cells["leases"] == 0  # the put released it
+
+    def test_expired_lease_regrants_and_counts_the_repeat(self, tmp_path):
+        # A claimant that dies mid-cell must not block the token forever:
+        # after the lease horizon the next claimant runs, and a late
+        # double write-back is counted, not corrupted.
+        with StoreServer(
+            port=0, root=tmp_path, cell_lease_timeout=0.05
+        ) as server:
+            with RemoteStore(server.address_string) as store:
+                assert store.cell_claim("cell-1") == ("run", None)
+                time.sleep(0.1)
+                assert store.cell_claim("cell-1") == ("run", None)
+                store.cell_put("cell-1", b"first")
+                store.cell_put("cell-1", b"second")
+            assert server.cell_stats()["put_repeats"] == 1
+
+    def test_cell_capacity_evicts_oldest_first(self, tmp_path):
+        with StoreServer(port=0, root=tmp_path, cell_capacity=2) as server:
+            with RemoteStore(server.address_string) as store:
+                for index in range(3):
+                    store.cell_put(f"cell-{index}", b"x")
+                assert store.cell_claim("cell-0") == ("run", None)  # evicted
+                assert store.cell_claim("cell-2") == ("hit", b"x")
+            cells = server.cell_stats()
+        assert cells["evicted"] == 1
+        assert cells["entries"] == 2
+
+    def test_empty_token_is_refused(self, store_server):
+        with RemoteStore(store_server.address_string) as store:
+            with pytest.raises(RemoteStoreError, match="refused"):
+                store.cell_claim("")
+
+    def test_invalid_lease_configuration_rejected(self, tmp_path):
+        with pytest.raises(RemoteStoreError, match="positive"):
+            StoreServer(port=0, root=tmp_path, cell_lease_timeout=0)
+        with pytest.raises(RemoteStoreError, match=">= 1"):
+            StoreServer(port=0, root=tmp_path, cell_capacity=0)
+
+    def test_stats_reply_carries_the_cell_counters(self, store_server):
+        with RemoteStore(store_server.address_string) as store:
+            store.cell_claim("cell-1")
+            stats = store.server_stats()
+        assert stats["cells"]["runs"] == 1
+        assert stats["cells"]["leases"] == 1
+
+
+class _ExplodingLocalStore:
+    """A local tier whose writes fail (full disk, permissions slip)."""
+
+    stats: dict = {}
+
+    def __init__(self) -> None:
+        self.gets = 0
+
+    def get(self, key):
+        self.gets += 1
+        return None
+
+    def put(self, key, result):
+        raise OSError("disk full")
+
+
+class TestTieredWarmBack:
+    """Satellite: local warming is best-effort; the result is already won."""
+
+    def test_failed_warm_back_keeps_the_result_and_records_a_warning(
+        self, store_server
+    ):
+        with RemoteStore(store_server.address_string) as warm:
+            warm.put(key_for(), sample_result())
+        local = _ExplodingLocalStore()
+        tiered = TieredStore(local, RemoteStore(store_server.address_string))
+        try:
+            loaded = tiered.get(key_for())
+            assert loaded is not None  # the run keeps its result
+            assert tiered.last_source == "remote"
+            assert tiered.stats["write_back_failures"] == 1
+            assert len(tiered.warnings) == 1
+            assert "warm-back failed" in tiered.warnings[0]
+            assert "figX" in tiered.warnings[0]
+            assert "OSError" in tiered.warnings[0]
+        finally:
+            tiered.close()
+
+    def test_explicit_put_still_raises_on_local_failure(self, store_server):
+        # Only the opportunistic warm-back is best-effort: when the write
+        # is the point of the call, a failing tier must stay loud.
+        tiered = TieredStore(
+            _ExplodingLocalStore(), RemoteStore(store_server.address_string)
+        )
+        try:
+            with pytest.raises(OSError, match="disk full"):
+                tiered.put(key_for(), sample_result())
+        finally:
+            tiered.close()
+
+    def test_remote_tier_failures_stay_loud(self, tmp_path):
+        # The best-effort carve-out is local-only: a dead shared tier is
+        # still a hard error on the read path.
+        tiered = TieredStore(
+            ResultStore(tmp_path), RemoteStore(DEAD_ADDRESS, connect_timeout=0.5)
+        )
+        with pytest.raises(RemoteStoreError, match="could not reach"):
+            tiered.get(key_for())
 
 
 class TestStoreNoDelay:
