@@ -21,6 +21,11 @@ Layout:
 * :mod:`repro.analysis.framework` — the rule registry, per-module and
   cross-module rule base classes, and the :class:`Analyzer` driver.
 * :mod:`repro.analysis.rules` — the repo-specific rules (RB101..RB104).
+* :mod:`repro.analysis.concurrency` — class-level thread-role inference
+  and guarded-attribute dataflow for the threaded services.
+* :mod:`repro.analysis.rules_concurrency` — the concurrency-safety rule
+  family (RB201..RB204): races, blocking under locks, lock-order
+  cycles, leaked threads.
 * :mod:`repro.analysis.baseline` — the committed-baseline format that
   lets the gate adopt a tree with pre-existing findings.
 * :mod:`repro.analysis.cli` — ``repro-bench lint`` / ``repro-lint``.
@@ -37,6 +42,9 @@ from repro.analysis.framework import (
     register_rule,
 )
 from repro.analysis import rules as _rules  # registers RB101..RB104  # noqa: F401
+from repro.analysis import (  # registers RB201..RB204  # noqa: F401
+    rules_concurrency as _rules_concurrency,
+)
 
 __all__ = [
     "Analyzer",

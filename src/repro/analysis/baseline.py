@@ -82,11 +82,19 @@ class Baseline:
                 seen.add(fingerprint)
             else:
                 new.append(finding)
-        stale = [
-            entry
-            for fingerprint, entry in sorted(self.entries.items())
-            if fingerprint not in seen
-        ]
+        stale = sorted(
+            (
+                entry
+                for fingerprint, entry in self.entries.items()
+                if fingerprint not in seen
+            ),
+            key=lambda e: (
+                e.get("path", ""),
+                e.get("line", 0),
+                e.get("col", 0),
+                e.get("code", ""),
+            ),
+        )
         return BaselineResult(new=new, suppressed=suppressed, stale=stale)
 
     def write(self, path: str | pathlib.Path) -> pathlib.Path:

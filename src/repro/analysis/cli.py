@@ -23,6 +23,9 @@ import sys
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.framework import RULE_REGISTRY, Analyzer
 from repro.analysis import rules as _rules  # ensure registration  # noqa: F401
+from repro.analysis import (  # ensure registration  # noqa: F401
+    rules_concurrency as _rules_concurrency,
+)
 
 __all__ = ["add_lint_arguments", "run_lint_command", "main"]
 
@@ -61,6 +64,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to run (default: all registered)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze modules across N worker processes (default: 1, serial); "
+             "findings are bit-identical either way",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
@@ -83,9 +91,15 @@ def run_lint_command(args: argparse.Namespace) -> int:
         if args.select
         else None
     )
+    jobs = getattr(args, "jobs", 1)
+    if jobs is None:
+        jobs = 1
+    if jobs < 1:
+        print("repro-bench lint: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     try:
         analyzer = Analyzer(rules=selected)
-        findings = analyzer.analyze(args.paths)
+        findings = analyzer.analyze(args.paths, jobs=jobs)
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro-bench lint: error: {exc}", file=sys.stderr)
         return 2

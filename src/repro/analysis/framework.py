@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.findings import Finding, sort_findings
-from repro.analysis.suppressions import apply_suppressions, collect_suppressions
+from repro.analysis.suppressions import (
+    apply_suppressions,
+    collect_suppressions,
+    statement_spans,
+)
 
 __all__ = [
+    "PARSE_FAILURE_CODE",
     "SYNTAX_ERROR_CODE",
     "AnalysisConfig",
     "Analyzer",
@@ -42,6 +47,12 @@ __all__ = [
 #: broken module silently exempt from every rule would be a hole in the
 #: gate.
 SYNTAX_ERROR_CODE = "RB901"
+
+#: A file the analyzer cannot even *read or analyze* — undecodable bytes,
+#: a vanished path, or a rule crashing on its AST. Crash-safety: one
+#: broken file must surface as a per-file finding (path + line), never as
+#: an unhandled traceback that takes the whole run (and the gate) down.
+PARSE_FAILURE_CODE = "RB000"
 
 
 @dataclass(frozen=True)
@@ -60,12 +71,24 @@ class AnalysisConfig:
     ``protocol_groups`` maps a path suffix to a group name for RB104;
     modules not named here each form their own group (both ends of the
     worker and store protocols live in single modules today).
+
+    ``thread_roles`` is the per-service threading model the RB2xx rules
+    consume: ``{path suffix: {class name: {method: role}}}`` declaring
+    thread contexts a method runs on that class-local inference cannot
+    see — a :class:`~repro.core.store.ResultStore` is driven by the
+    store server's handler threads, a ``_DispatchState`` by the remote
+    mapper's driver threads. Like ``seams``, the table is central,
+    reviewed, and mirrored in ``docs/OPERATIONS.md``'s threading-model
+    appendix.
     """
 
     seams: Mapping[str, Mapping[str, str]] = field(
         default_factory=lambda: DEFAULT_SEAMS
     )
     protocol_groups: Mapping[str, str] = field(default_factory=dict)
+    thread_roles: Mapping[str, Mapping[str, Mapping[str, str]]] = field(
+        default_factory=lambda: DEFAULT_THREAD_ROLES
+    )
 
     def seam_reason(self, code: str, relpath: str) -> str | None:
         """The justification if ``relpath`` is a seam for ``code``, else None."""
@@ -80,6 +103,13 @@ class AnalysisConfig:
             if relpath.endswith(suffix):
                 return group
         return relpath
+
+    def declared_roles(self, relpath: str, class_name: str) -> Mapping[str, str]:
+        """Declared ``{method: role}`` additions for one class, or empty."""
+        for suffix, classes in self.thread_roles.items():
+            if relpath.endswith(suffix):
+                return classes.get(class_name, {})
+        return {}
 
 
 #: The committed seam allowlist. Timing and entropy calls in these
@@ -112,6 +142,51 @@ DEFAULT_SEAMS: dict[str, dict[str, str]] = {
             "worker computes a cell, never what the cell computes"
         ),
     },
+    "RB202": {
+        "repro/core/remote.py": (
+            "the per-connection send lock exists precisely to hold across "
+            "send_frame: frames on a shared socket must be written "
+            "atomically, and the lock is per-connection so only replies "
+            "racing for the same client serialize behind it"
+        ),
+    },
+}
+
+#: The committed thread-role table (see ``AnalysisConfig.thread_roles``).
+#: Classes that spawn their own threads need no entry — inference reads
+#: the spawns; entries exist for classes *driven* by another service's
+#: threads, which no class-local pass can see. ``docs/OPERATIONS.md``
+#: documents the same table as each service's threading model.
+DEFAULT_THREAD_ROLES: dict[str, dict[str, dict[str, str]]] = {
+    "repro/core/store.py": {
+        # A ResultStore behind a StoreServer is called from every
+        # per-connection handler thread concurrently.
+        "ResultStore": {
+            "get": "repro-store-conn",
+            "put": "repro-store-conn",
+            "__contains__": "repro-store-conn",
+            "entries": "repro-store-conn",
+            "total_bytes": "repro-store-conn",
+            "clear": "repro-store-conn",
+        },
+    },
+    "repro/core/remote.py": {
+        # WireStats and the dispatch state are shared by every driver
+        # thread of a RemoteMapper dispatch.
+        "WireStats": {
+            "add_sent": "repro-remote-driver",
+            "add_received": "repro-remote-driver",
+        },
+        "_DispatchState": {
+            "claim": "repro-remote-driver",
+            "complete": "repro-remote-driver",
+            "fail": "repro-remote-driver",
+            "requeue": "repro-remote-driver",
+            "add_dedupe": "repro-remote-driver",
+            "settled": "repro-remote-driver",
+            "wait_for_work": "repro-remote-driver",
+        },
+    },
 }
 
 
@@ -125,15 +200,37 @@ class ModuleSource:
     lines: list[str]
     tree: ast.Module | None
     syntax_error: SyntaxError | None = None
+    #: Why the file could not even be read/parsed into an AST (undecodable
+    #: bytes, I/O error) — reported as RB000, never as a traceback.
+    load_error: str | None = None
 
     @classmethod
     def load(cls, path: pathlib.Path, relpath: str) -> "ModuleSource":
-        text = path.read_text(encoding="utf-8")
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return cls(
+                path=path,
+                relpath=relpath,
+                text="",
+                lines=[],
+                tree=None,
+                load_error=f"cannot read file: {exc}",
+            )
         try:
             tree = ast.parse(text, filename=str(path))
             error = None
         except SyntaxError as exc:
             tree, error = None, exc
+        except ValueError as exc:  # e.g. source containing null bytes
+            return cls(
+                path=path,
+                relpath=relpath,
+                text=text,
+                lines=text.splitlines(),
+                tree=None,
+                load_error=f"cannot parse file: {exc}",
+            )
         return cls(
             path=path,
             relpath=relpath,
@@ -186,12 +283,17 @@ class Rule:
     """Base class: subclass, set ``code``/``name``, implement one hook.
 
     Per-module rules implement :meth:`check_module`; cross-module rules
-    set ``cross = True`` and implement :meth:`check_project`.
+    set ``cross = True`` and implement :meth:`check_project`; class-level
+    rules (the RB2xx concurrency family) set ``class_level = True`` and
+    implement :meth:`check_class`, receiving one
+    :class:`~repro.analysis.concurrency.ClassConcurrency` table at a
+    time with thread roles and guarded-access dataflow already inferred.
     """
 
     code: str = ""
     name: str = ""
     cross: bool = False
+    class_level: bool = False
 
     def check_module(
         self, module: ModuleSource, config: AnalysisConfig
@@ -200,6 +302,11 @@ class Rule:
 
     def check_project(
         self, modules: Sequence[ModuleSource], config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_class(
+        self, cls: object, module: ModuleSource, config: AnalysisConfig
     ) -> Iterator[Finding]:
         return iter(())
 
@@ -238,6 +345,92 @@ def iter_python_files(paths: Sequence[str | pathlib.Path]) -> Iterator[pathlib.P
             yield candidate
 
 
+def _failure_finding(module: ModuleSource, message: str) -> Finding:
+    return Finding(
+        path=module.relpath,
+        line=1,
+        col=1,
+        code=PARSE_FAILURE_CODE,
+        message=message,
+        line_text=module.line_text(1),
+    )
+
+
+def _module_findings(
+    module: ModuleSource, rules: Sequence[Rule], config: AnalysisConfig
+) -> list[Finding]:
+    """Every per-module and class-level finding for one file.
+
+    This is the unit of work the ``--jobs`` process pool distributes, so
+    it is a module-level function over picklable inputs. Crash-safety
+    lives here: an unreadable file or a rule blowing up on one module
+    becomes a per-file RB000 finding, not a traceback that takes the
+    whole run (and the CI gate) down.
+    """
+    if module.load_error is not None:
+        return [_failure_finding(module, module.load_error)]
+    if module.syntax_error is not None:
+        return [
+            Finding(
+                path=module.relpath,
+                line=module.syntax_error.lineno or 1,
+                col=(module.syntax_error.offset or 0) + 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {module.syntax_error.msg}",
+                line_text=module.line_text(module.syntax_error.lineno or 1),
+            )
+        ]
+    out: list[Finding] = []
+    for rule in rules:
+        if rule.cross or rule.class_level:
+            continue
+        try:
+            out.extend(rule.check_module(module, config))
+        except Exception as exc:
+            out.append(
+                _failure_finding(
+                    module, f"rule {rule.code} crashed on this file: {exc!r}"
+                )
+            )
+    class_rules = [rule for rule in rules if rule.class_level]
+    if class_rules:
+        from repro.analysis.concurrency import build_class_tables
+
+        try:
+            tables = build_class_tables(module, config)
+        except Exception as exc:
+            tables = []
+            out.append(
+                _failure_finding(
+                    module, f"thread-role inference crashed on this file: {exc!r}"
+                )
+            )
+        for rule in class_rules:
+            for table in tables:
+                try:
+                    out.extend(rule.check_class(table, module, config))
+                except Exception as exc:
+                    out.append(
+                        _failure_finding(
+                            module,
+                            f"rule {rule.code} crashed on this file: {exc!r}",
+                        )
+                    )
+    return out
+
+
+def _analyze_file_worker(
+    payload: tuple[str, str, tuple[str, ...], AnalysisConfig]
+) -> list[Finding]:
+    """Process-pool worker: load one file and run its per-module rules."""
+    path_str, relpath, codes, config = payload
+    import repro.analysis  # noqa: F401  — registers every rule family
+
+    rules = [RULE_REGISTRY[code]() for code in codes]
+    module = ModuleSource.load(pathlib.Path(path_str), relpath)
+    return _module_findings(module, rules, config)
+
+
 class Analyzer:
     """Runs the registered rules over a set of paths."""
 
@@ -268,26 +461,23 @@ class Analyzer:
             modules.append(ModuleSource.load(path, relpath))
         return modules
 
-    def analyze_modules(self, modules: Sequence[ModuleSource]) -> list[Finding]:
-        """The full pass: rules, then suppressions, then seam accounting."""
+    def analyze_modules(
+        self, modules: Sequence[ModuleSource], jobs: int = 1
+    ) -> list[Finding]:
+        """The full pass: rules, then suppressions, then seam accounting.
+
+        With ``jobs > 1`` the per-module work fans out over a process
+        pool; cross-module rules, seams, and pragma application always
+        run in the parent, and the final positional sort makes the
+        result bit-identical to a serial run.
+        """
         raw: list[Finding] = []
-        for module in modules:
-            if module.syntax_error is not None:
-                raw.append(
-                    Finding(
-                        path=module.relpath,
-                        line=module.syntax_error.lineno or 1,
-                        col=(module.syntax_error.offset or 0) + 1,
-                        code=SYNTAX_ERROR_CODE,
-                        message=f"file does not parse: {module.syntax_error.msg}",
-                        line_text=module.line_text(module.syntax_error.lineno or 1),
-                    )
-                )
-                continue
-            for rule in self.rules:
-                if not rule.cross:
-                    raw.extend(rule.check_module(module, self.config))
-        parsed = [m for m in modules if m.syntax_error is None]
+        if jobs > 1 and len(modules) > 1:
+            raw.extend(self._parallel_module_findings(modules, jobs))
+        else:
+            for module in modules:
+                raw.extend(_module_findings(module, self.rules, self.config))
+        parsed = [m for m in modules if m.tree is not None]
         for rule in self.rules:
             if rule.cross:
                 raw.extend(rule.check_project(parsed, self.config))
@@ -295,9 +485,26 @@ class Analyzer:
         findings = self._apply_seams(raw)
         return sort_findings(self._apply_pragmas(modules, findings))
 
-    def analyze(self, paths: Sequence[str | pathlib.Path]) -> list[Finding]:
+    def analyze(
+        self, paths: Sequence[str | pathlib.Path], jobs: int = 1
+    ) -> list[Finding]:
         """Convenience: load + analyze."""
-        return self.analyze_modules(self.load_modules(paths))
+        return self.analyze_modules(self.load_modules(paths), jobs=jobs)
+
+    def _parallel_module_findings(
+        self, modules: Sequence[ModuleSource], jobs: int
+    ) -> list[Finding]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        codes = tuple(rule.code for rule in self.rules)
+        payloads = [
+            (str(m.path), m.relpath, codes, self.config) for m in modules
+        ]
+        raw: list[Finding] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for findings in pool.map(_analyze_file_worker, payloads):
+                raw.extend(findings)
+        return raw
 
     # --- filtering ------------------------------------------------------------
 
@@ -325,6 +532,7 @@ class Analyzer:
                     by_path.get(module.relpath, []),
                     collect_suppressions(module.text),
                     module.lines,
+                    statement_spans(module.tree),
                 )
             )
         # Cross-module findings can anchor outside the analyzed set only

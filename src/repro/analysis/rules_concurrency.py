@@ -1,0 +1,264 @@
+"""The concurrency-safety rule family (RB201..RB204).
+
+PRs 4-9 grew four long-lived threaded network services (the worker, the
+store server, the fleet coordinator, and the remote mapper's driver
+threads). Data races and lock-discipline slips in their handler threads
+are the next shipped-bug class waiting to happen — these rules encode
+them as class-level checks over the thread-role and dataflow tables
+built by :mod:`repro.analysis.concurrency`:
+
+* **RB201** — a shared mutable attribute reachable from two or more
+  thread roles with at least one unguarded *mutation* (subscript writes,
+  ``+=``, ``.append()``/``.pop()``/``.clear()`` and friends). Plain
+  rebinds (``self._listener = None``) are exempt: a reference swap is
+  atomic under the GIL and is the repo's sanctioned hand-off idiom.
+* **RB202** — a blocking call (frame/socket I/O, sleeps, joins,
+  subprocesses, file I/O) while holding a lock: every other thread
+  sharing that lock stalls behind one slow peer.
+* **RB203** — lock-ordering: a cycle in the per-class lock-acquisition
+  graph (lexically nested ``with`` blocks plus one level of intra-class
+  calls), or re-acquiring a non-reentrant lock already held.
+* **RB204** — a non-daemon thread spawned without a matching ``join``
+  (or a post-construction ``daemon = True``) anywhere in the class:
+  shutdown hangs waiting on a thread nobody drains.
+
+Roles a class is driven with from *outside* its own spawns are declared
+centrally in ``AnalysisConfig.thread_roles`` (see ``docs/ANALYSIS.md``),
+mirroring the RB102 seam allowlist — the same table ``docs/OPERATIONS.md``
+documents as each service's threading model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from repro.analysis.concurrency import ClassConcurrency, MethodConcurrency
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    AnalysisConfig,
+    ModuleSource,
+    Rule,
+    register_rule,
+)
+
+__all__ = [
+    "SharedStateRule",
+    "BlockingUnderLockRule",
+    "LockOrderRule",
+    "LeakedThreadRule",
+]
+
+
+@register_rule
+class SharedStateRule(Rule):
+    """Shared mutable attribute mutated without its lock across thread roles."""
+
+    code = "RB201"
+    name = "unguarded-shared-state"
+    class_level = True
+
+    def check_class(
+        self, cls: ClassConcurrency, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        for attr, accesses in sorted(cls.attr_accesses().items()):
+            if attr in cls.sync_attrs:
+                continue  # locks/events are internally thread-safe
+            relevant = [a for a in accesses if a.method != "__init__"]
+            roles: set[str] = set()
+            for access in relevant:
+                roles |= cls.roles_of(access.method)
+            if len(roles) < 2:
+                continue
+            unguarded = [
+                a
+                for a in relevant
+                if a.kind == "mutate" and not a.guards and cls.roles_of(a.method)
+            ]
+            if not unguarded:
+                continue
+            suggestion = self._usual_guard(relevant)
+            role_list = ", ".join(sorted(roles))
+            seen_lines: set[int] = set()
+            for access in unguarded:
+                line = getattr(access.node, "lineno", 0)
+                if line in seen_lines:
+                    continue
+                seen_lines.add(line)
+                hint = (
+                    f" — other sites guard it with `{suggestion}`"
+                    if suggestion
+                    else " — give every access one consistent lock"
+                )
+                yield module.finding(
+                    access.node,
+                    self.code,
+                    f"`{cls.name}.{attr}` is mutated here without a lock but "
+                    f"is shared across thread roles [{role_list}]{hint}",
+                )
+
+    @staticmethod
+    def _usual_guard(accesses: list) -> str | None:
+        """The innermost lock most accesses of this attribute already hold."""
+        counts: Counter[str] = Counter(
+            access.guards[-1] for access in accesses if access.guards
+        )
+        if not counts:
+            return None
+        return counts.most_common(1)[0][0]
+
+
+@register_rule
+class BlockingUnderLockRule(Rule):
+    """Blocking call while holding a lock — the classic handler-thread stall."""
+
+    code = "RB202"
+    name = "blocking-call-under-lock"
+    class_level = True
+
+    def check_class(
+        self, cls: ClassConcurrency, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        for info in cls.methods.values():
+            for call in info.blocking:
+                if not call.held:
+                    continue
+                yield module.finding(
+                    call.node,
+                    self.code,
+                    f"blocking call ({call.reason}) in `{cls.name}.{info.name}` "
+                    f"while holding `{call.held[-1]}` — every thread sharing "
+                    f"that lock stalls behind this call; move the I/O outside "
+                    f"the critical section",
+                )
+
+
+@register_rule
+class LockOrderRule(Rule):
+    """Cyclic lock-acquisition order (or re-acquiring a non-reentrant lock)."""
+
+    code = "RB203"
+    name = "lock-order-cycle"
+    class_level = True
+
+    def check_class(
+        self, cls: ClassConcurrency, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        edges: dict[tuple[str, str], object] = {}
+
+        def note_edge(held: str, acquired: str, node: object) -> Iterator[Finding]:
+            if held == acquired:
+                if self._is_reentrant(cls, acquired):
+                    return
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"`{cls.name}` re-acquires non-reentrant lock `{acquired}` "
+                    f"while already holding it — this deadlocks; use an RLock "
+                    f"or restructure the critical sections",
+                )
+                return
+            edges.setdefault((held, acquired), node)
+
+        for info in cls.methods.values():
+            for acq in info.acquisitions:
+                for held in acq.held:
+                    yield from note_edge(held, acq.lock, acq.node)
+            for callee, held_at_call, node in info.calls:
+                target = cls.methods.get(callee)
+                if target is None or not held_at_call:
+                    continue
+                for acq in target.acquisitions:
+                    for held in held_at_call:
+                        yield from note_edge(held, acq.lock, node)
+
+        yield from self._cycles(cls, module, edges)
+
+    @staticmethod
+    def _is_reentrant(cls: ClassConcurrency, lock: str) -> bool:
+        if lock.startswith("self."):
+            return cls.lock_attrs.get(lock[len("self.") :]) == "RLock"
+        return False
+
+    def _cycles(
+        self,
+        cls: ClassConcurrency,
+        module: ModuleSource,
+        edges: dict[tuple[str, str], object],
+    ) -> Iterator[Finding]:
+        adjacency: dict[str, list[str]] = {}
+        for a, b in edges:
+            adjacency.setdefault(a, []).append(b)
+        reported: set[frozenset[str]] = set()
+        for (a, b), node in sorted(
+            edges.items(), key=lambda kv: getattr(kv[1], "lineno", 0)
+        ):
+            path = self._find_path(adjacency, b, a)
+            if path is None:
+                continue
+            cycle = [a, *path]
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            order = " -> ".join([*cycle, a])
+            yield module.finding(
+                node,
+                self.code,
+                f"lock-order cycle in `{cls.name}`: {order} — two threads "
+                f"taking these locks in opposite orders deadlock; pick one "
+                f"global acquisition order",
+            )
+
+    @staticmethod
+    def _find_path(
+        adjacency: dict[str, list[str]], start: str, goal: str
+    ) -> list[str] | None:
+        """A path ``start -> ... -> goal`` following edges, or None."""
+        stack = [(start, [start])]
+        visited = {start}
+        while stack:
+            current, path = stack.pop()
+            if current == goal:
+                return path
+            for nxt in sorted(adjacency.get(current, ())):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+
+@register_rule
+class LeakedThreadRule(Rule):
+    """Non-daemon thread spawned without a matching join on any drain path."""
+
+    code = "RB204"
+    name = "leaked-thread"
+    class_level = True
+
+    def check_class(
+        self, cls: ClassConcurrency, module: ModuleSource, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        joined = cls.joined_bindings()
+        for info in cls.methods.values():
+            for spawn in info.spawns:
+                if spawn.via != "thread" or spawn.daemon:
+                    continue
+                if spawn.binding is not None and spawn.binding in joined:
+                    continue
+                where = self._binding_phrase(spawn, info)
+                yield module.finding(
+                    spawn.node,
+                    self.code,
+                    f"non-daemon thread spawned in `{cls.name}.{info.name}` "
+                    f"{where} — interpreter shutdown hangs on it; pass "
+                    f"daemon=True or join it on the stop/close path",
+                )
+
+    @staticmethod
+    def _binding_phrase(spawn, info: MethodConcurrency) -> str:
+        if spawn.binding is None:
+            return "is never stored, so nothing can ever join it"
+        if spawn.binding[0] == "attr":
+            return f"(held in `self.{spawn.binding[1]}`) is never joined"
+        return f"(local `{spawn.binding[-1]}`) is never joined"

@@ -4,6 +4,13 @@ A finding is silenced by a comment on its own line::
 
     total = sum(self._hits.values())  # repro: ignore[RB101] exact int sum
 
+A pragma on the first line of a multi-line *statement header* covers
+every line of that header — ``# repro: ignore[RB201]`` on a
+``with self._lock:`` line silences findings anchored anywhere in the
+(possibly parenthesized, multi-line) context expression, but never
+findings inside the block's body. Spans come from the AST via
+:func:`statement_spans`.
+
 Multiple codes are comma-separated (``# repro: ignore[RB101,RB102]``).
 The trailing free text is the justification — not parsed, but strongly
 encouraged (reviewers read it).
@@ -17,6 +24,7 @@ string literals never counts as a suppression.
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -29,6 +37,7 @@ __all__ = [
     "UNUSED_SUPPRESSION_CODE",
     "collect_suppressions",
     "apply_suppressions",
+    "statement_spans",
 ]
 
 #: Rule code of the unused-suppression check (reserved RB9xx range: the
@@ -85,16 +94,47 @@ def collect_suppressions(text: str) -> list[Suppression]:
     return suppressions
 
 
+def statement_spans(tree: ast.Module | None) -> dict[int, int]:
+    """Map every line of a multi-line statement header to its first line.
+
+    The *header* of a compound statement runs from its first line to the
+    line before its body starts — the whole (possibly parenthesized)
+    ``with``/``if``/``for`` expression, but never the indented block. A
+    simple statement's header is its full line range. Single-line
+    statements are included too (mapping a line to itself), which keeps
+    the lookup uniform.
+    """
+    spans: dict[int, int] = {}
+    if tree is None:
+        return spans
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        else:
+            end = node.end_lineno or start
+        for line in range(start, max(start, end) + 1):
+            spans.setdefault(line, start)
+    return spans
+
+
 def apply_suppressions(
     path: str,
     findings: list[Finding],
     suppressions: list[Suppression],
     lines: list[str],
+    spans: dict[int, int] | None = None,
 ) -> list[Finding]:
-    """Drop findings covered by a same-line pragma; flag unused pragmas.
+    """Drop findings covered by a matching pragma; flag unused pragmas.
 
-    Returns the surviving findings plus one :data:`UNUSED_SUPPRESSION_CODE`
-    finding per pragma (or per code within a pragma) that matched nothing.
+    A pragma matches a finding on its own line, or — given ``spans`` from
+    :func:`statement_spans` — a finding anchored anywhere in the
+    multi-line statement header the pragma's line starts. Returns the
+    surviving findings plus one :data:`UNUSED_SUPPRESSION_CODE` finding
+    per pragma (or per code within a pragma) that matched nothing.
     """
     by_line: dict[int, list[Suppression]] = {}
     for suppression in suppressions:
@@ -103,12 +143,18 @@ def apply_suppressions(
     survivors: list[Finding] = []
     used_codes: dict[int, set[str]] = {}
     for finding in findings:
+        candidate_lines = {finding.line}
+        if spans is not None and finding.line in spans:
+            candidate_lines.add(spans[finding.line])
         silenced = False
-        for suppression in by_line.get(finding.line, ()):
-            if finding.code in suppression.codes:
-                suppression.used = True
-                used_codes.setdefault(id(suppression), set()).add(finding.code)
-                silenced = True
+        for line in candidate_lines:
+            for suppression in by_line.get(line, ()):
+                if finding.code in suppression.codes:
+                    suppression.used = True
+                    used_codes.setdefault(id(suppression), set()).add(
+                        finding.code
+                    )
+                    silenced = True
         if not silenced:
             survivors.append(finding)
 

@@ -583,13 +583,15 @@ class WorkerServer:
             self._accept_thread = None
         with self._lock:
             connections = list(self._connections)
+            handlers = list(self._handlers)
         for conn in connections:
             # Waking blocked recv() calls lets handlers notice the stop;
             # each handler drains its own in-flight jobs before exiting.
             _quietly_close(conn)
-        for handler in list(self._handlers):
+        for handler in handlers:
             handler.join(timeout=10)
-        self._handlers.clear()
+        with self._lock:
+            self._handlers.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

@@ -168,6 +168,9 @@ class ResultStore:
             raise ConfigurationError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = pathlib.Path(root)
         self.max_bytes = max_bytes
+        # A store behind a StoreServer is read/written from every handler
+        # thread at once; unguarded += on the counters loses increments.
+        self._stats_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evicted = 0
@@ -246,7 +249,8 @@ class ResultStore:
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            self._misses += 1
+            with self._stats_lock:
+                self._misses += 1
             return None
         try:
             if payload.get("schema") != _SCHEMA_VERSION:
@@ -257,9 +261,11 @@ class ResultStore:
             result = FigureResult.from_dict(payload["result"])
         except (ConfigurationError, KeyError, TypeError, ValueError):
             # A corrupt or stale-schema entry behaves like a miss.
-            self._misses += 1
+            with self._stats_lock:
+                self._misses += 1
             return None
-        self._hits += 1
+        with self._stats_lock:
+            self._hits += 1
         try:
             # LRU recency marker: a read refreshes the entry's mtime, so
             # eviction (least-recently-*read*) spares hot entries. The
@@ -363,7 +369,8 @@ class ResultStore:
             path.unlink(missing_ok=True)
             total -= size
             evicted += 1
-        self._evicted += evicted
+        with self._stats_lock:
+            self._evicted += evicted
         return evicted
 
     def _sweep_stale_temps(self, max_age_s: float | None = None) -> int:
@@ -396,5 +403,10 @@ class ResultStore:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters for this process."""
-        return {"hits": self._hits, "misses": self._misses, "evicted": self._evicted}
+        """Hit/miss/eviction counters for this process (consistent snapshot)."""
+        with self._stats_lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evicted": self._evicted,
+            }

@@ -240,11 +240,13 @@ class StoreServer:
             self._accept_thread = None
         with self._lock:
             connections = list(self._connections)
+            handlers = list(self._handlers)
         for conn in connections:
             _quietly_close(conn)
-        for handler in list(self._handlers):
+        for handler in handlers:
             handler.join(timeout=10)
-        self._handlers.clear()
+        with self._lock:
+            self._handlers.clear()
         self._stopping.clear()
 
     def serve_forever(self) -> None:

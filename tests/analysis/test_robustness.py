@@ -1,0 +1,220 @@
+"""Analyzer robustness: crash-safety, determinism, and --jobs parallelism."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import Analyzer, ModuleSource, RULE_REGISTRY
+from repro.analysis.cli import main as lint_main
+from repro.analysis.framework import (
+    PARSE_FAILURE_CODE,
+    SYNTAX_ERROR_CODE,
+    Rule,
+)
+from repro.analysis.suppressions import (
+    UNUSED_SUPPRESSION_CODE,
+    statement_spans,
+)
+
+BAD_SEED = "import random\nx = random.random()\n"
+BAD_FOLD = "weights = {0.1, 0.2}\ntotal = sum(weights)\n"
+
+
+def dedent(text: str) -> str:
+    return textwrap.dedent(text).lstrip()
+
+
+class TestCrashSafety:
+    def test_undecodable_file_is_an_rb000_finding(self, tmp_path, capsys):
+        target = tmp_path / "latin.py"
+        target.write_bytes(b"x = 1  # caf\xe9\n")  # not UTF-8
+        (tmp_path / "ok.py").write_text(BAD_SEED)
+        # The broken file must not take down the run: the good file's
+        # findings still appear alongside the per-file RB000.
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert PARSE_FAILURE_CODE in out
+        assert "cannot read file" in out
+        assert "RB102" in out
+
+    def test_syntax_error_fixture_is_a_finding_not_a_traceback(
+        self, tmp_path, capsys
+    ):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n    pass\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert SYNTAX_ERROR_CODE in out
+        assert "does not parse" in out
+
+    def test_crashing_rule_becomes_a_per_file_finding(self, codes_of):
+        class ExplodingRule(Rule):
+            code = "RB998"
+            name = "exploding"
+
+            def check_module(self, module, config):
+                raise RuntimeError("boom")
+                yield  # pragma: no cover
+
+        RULE_REGISTRY["RB998"] = ExplodingRule
+        try:
+            module = ModuleSource.from_text("x = 1\n", relpath="scratch/m.py")
+            findings = Analyzer(rules=["RB998"]).analyze_modules([module])
+            assert codes_of(findings) == [PARSE_FAILURE_CODE]
+            assert "RB998 crashed" in findings[0].message
+        finally:
+            del RULE_REGISTRY["RB998"]
+
+
+class TestDeterministicOutput:
+    def test_findings_sorted_by_path_line_code(self, tmp_path):
+        # Feed modules in reverse name order with interleaved defects;
+        # the report must come back in (path, line, code) order.
+        (tmp_path / "zz.py").write_text(BAD_SEED)
+        (tmp_path / "aa.py").write_text(BAD_FOLD + BAD_SEED)
+        findings = Analyzer(rules=["RB101", "RB102"]).analyze(
+            [tmp_path / "zz.py", tmp_path / "aa.py"]
+        )
+        keys = [(f.path, f.line, f.code) for f in findings]
+        assert keys == sorted(keys)
+        assert len({f.path for f in findings}) == 2
+
+    def test_json_report_is_bit_identical_across_runs(self, tmp_path, capsys):
+        (tmp_path / "one.py").write_text(BAD_SEED)
+        (tmp_path / "two.py").write_text(BAD_FOLD)
+        argv = [str(tmp_path), "--no-baseline", "--format=json"]
+        assert lint_main(argv) == 1
+        first = capsys.readouterr().out
+        assert lint_main(argv) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        json.loads(first)  # well-formed
+
+
+class TestParallelJobs:
+    def _tree(self, tmp_path):
+        for name, text in [
+            ("a.py", BAD_SEED),
+            ("b.py", BAD_FOLD),
+            ("c.py", "def broken(:\n    pass\n"),
+            ("d.py", "x = 1\n"),
+        ]:
+            (tmp_path / name).write_text(text)
+        return tmp_path
+
+    def test_jobs_findings_are_bit_identical_to_serial(self, tmp_path):
+        tree = self._tree(tmp_path)
+        serial = Analyzer().analyze([tree], jobs=1)
+        parallel = Analyzer().analyze([tree], jobs=3)
+        assert serial == parallel
+        assert serial  # the comparison is not vacuous
+
+    def test_cli_jobs_flag(self, tmp_path, capsys):
+        tree = self._tree(tmp_path)
+        assert lint_main([str(tree), "--no-baseline"]) == 1
+        serial_out = capsys.readouterr().out
+        assert lint_main([str(tree), "--no-baseline", "--jobs", "2"]) == 1
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_jobs_zero_is_a_usage_error(self, tmp_path, capsys):
+        (tmp_path / "x.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestMultiLineSuppressions:
+    def test_pragma_on_statement_start_covers_the_whole_header(
+        self, lint_source
+    ):
+        # The finding anchors on a continuation line; the pragma sits on
+        # the line the statement starts on.
+        source = dedent(
+            """
+            import time
+
+            stamp = (  # repro: ignore[RB102] fixture stamp
+                time.time()
+            )
+            """
+        )
+        assert lint_source(source, rules=["RB102"]) == []
+
+    def test_with_header_pragma_covers_header_not_body(
+        self, lint_source, codes_of
+    ):
+        # A pragma on the `with` line silences findings anywhere in the
+        # (multi-line) context expression but never inside the body.
+        source = dedent(
+            """
+            import time
+
+            with open(  # repro: ignore[RB102] header only
+                str(time.time())
+            ) as fh:
+                stamp = time.time()
+            """
+        )
+        findings = lint_source(source, rules=["RB102"])
+        assert codes_of(findings) == ["RB102"]
+        assert findings[0].line_text == "stamp = time.time()"
+
+    def test_rb201_pragma_on_with_lock_line(self, lint_source):
+        # The issue's motivating case: a reviewed RB201 suppression on a
+        # `with` header covers the whole block header.
+        source = dedent(
+            """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def start(self):
+                    threading.Thread(target=self._loop, daemon=True).start()
+
+                def _loop(self):
+                    with self._lock:
+                        self._items.append("tick")
+
+                def rush(self):
+                    self._items.append(  # repro: ignore[RB201] reviewed race
+                        "skip"
+                    )
+            """
+        )
+        assert lint_source(source, rules=["RB201"]) == []
+
+    def test_unused_rb201_pragma_is_reported(self, lint_source, codes_of):
+        # RB900 interplay with the new family: a concurrency suppression
+        # that silences nothing is itself a finding.
+        source = dedent(
+            """
+            class Quiet:
+                def __init__(self):
+                    self._items = []  # repro: ignore[RB201] nothing races
+            """
+        )
+        findings = lint_source(source, rules=["RB201"])
+        assert codes_of(findings) == [UNUSED_SUPPRESSION_CODE]
+        assert "RB201" in findings[0].message
+
+    def test_statement_spans_header_geometry(self):
+        import ast
+
+        source = dedent(
+            """
+            with open(
+                "x"
+            ) as fh:
+                data = fh.read()
+            """
+        )
+        spans = statement_spans(ast.parse(source))
+        # Header lines 1-3 map to the statement start; the body does not.
+        assert spans[1] == 1
+        assert spans[2] == 1
+        assert spans[3] == 1
+        assert spans[4] == 4
